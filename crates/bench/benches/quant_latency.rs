@@ -1,0 +1,89 @@
+//! Quantization micro-benchmarks backing Figures 12/13: per-row cost of
+//! each scheme, and the adaptive scheme's bins/ratio scaling.
+
+use cnr_bench::workloads::{sampled_rows, trained_model};
+use cnr_quant::{QuantScheme, RowSource};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn schemes(c: &mut Criterion) {
+    let (_, model) = trained_model(1, 100, 16);
+    let rows = sampled_rows(&model, 64);
+    let mut group = c.benchmark_group("quantize_row");
+    for (name, scheme) in [
+        ("fp32", QuantScheme::Fp32),
+        ("symmetric4", QuantScheme::Symmetric { bits: 4 }),
+        ("asymmetric4", QuantScheme::Asymmetric { bits: 4 }),
+        ("asymmetric8", QuantScheme::Asymmetric { bits: 8 }),
+        ("kmeans4", QuantScheme::KMeans { bits: 4 }),
+        (
+            "adaptive4_b25",
+            QuantScheme::AdaptiveAsymmetric {
+                bits: 4,
+                num_bins: 25,
+                ratio: 1.0,
+            },
+        ),
+    ] {
+        group.bench_function(name, |b| {
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = scheme.quantize_row(black_box(rows.row(i % rows.num_rows())));
+                i += 1;
+                black_box(q)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn adaptive_bins(c: &mut Criterion) {
+    let (_, model) = trained_model(1, 100, 16);
+    let rows = sampled_rows(&model, 64);
+    let mut group = c.benchmark_group("adaptive_bins");
+    for bins in [5u32, 25, 50] {
+        group.bench_with_input(BenchmarkId::from_parameter(bins), &bins, |b, &bins| {
+            let scheme = QuantScheme::AdaptiveAsymmetric {
+                bits: 2,
+                num_bins: bins,
+                ratio: 1.0,
+            };
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = scheme.quantize_row(black_box(rows.row(i % rows.num_rows())));
+                i += 1;
+                black_box(q)
+            })
+        });
+    }
+    group.finish();
+}
+
+fn adaptive_ratio(c: &mut Criterion) {
+    let (_, model) = trained_model(1, 100, 16);
+    let rows = sampled_rows(&model, 64);
+    let mut group = c.benchmark_group("adaptive_ratio");
+    for pct in [10u32, 50, 100] {
+        group.bench_with_input(BenchmarkId::from_parameter(pct), &pct, |b, &pct| {
+            let scheme = QuantScheme::AdaptiveAsymmetric {
+                bits: 4,
+                num_bins: 45,
+                ratio: pct as f64 / 100.0,
+            };
+            let mut i = 0usize;
+            b.iter(|| {
+                let q = scheme.quantize_row(black_box(rows.row(i % rows.num_rows())));
+                i += 1;
+                black_box(q)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = schemes, adaptive_bins, adaptive_ratio
+}
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Storage backend micro-benchmarks.
+
+use bytes::Bytes;
+use cnr_cluster::SimClock;
+use cnr_storage::{InMemoryStore, ObjectStore, RemoteConfig, SimulatedRemoteStore};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn memory_put_get(c: &mut Criterion) {
+    let store = InMemoryStore::new();
+    let payload = Bytes::from(vec![0u8; 64 * 1024]);
+    let mut group = c.benchmark_group("memory_store");
+    group.throughput(Throughput::Bytes(64 * 1024));
+    group.bench_function("put_64k", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            store
+                .put(&format!("bench/{}", i % 128), payload.clone())
+                .unwrap();
+            i += 1;
+        })
+    });
+    store.put("bench/get", payload).unwrap();
+    group.bench_function("get_64k", |b| {
+        b.iter(|| black_box(store.get("bench/get").unwrap()))
+    });
+    group.finish();
+}
+
+fn remote_put(c: &mut Criterion) {
+    // Wall-clock cost of the *simulation bookkeeping* (transfers are
+    // simulated-time, not wall-time).
+    let store = SimulatedRemoteStore::new(RemoteConfig::default(), SimClock::new());
+    let payload = Bytes::from(vec![0u8; 64 * 1024]);
+    c.bench_function("remote_put_64k_bookkeeping", |b| {
+        let mut i = 0u64;
+        b.iter(|| {
+            store
+                .put(&format!("bench/{}", i % 128), payload.clone())
+                .unwrap();
+            i += 1;
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = memory_put_get, remote_put
+}
+criterion_main!(benches);

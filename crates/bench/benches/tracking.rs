@@ -1,0 +1,52 @@
+//! Tracking micro-benchmarks: the §5.1.1 claim that marking is cheap enough
+//! to hide inside the AlltoAll window.
+
+use cnr_tracking::{AtomicBitVec, ModificationTracker};
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use std::hint::black_box;
+
+fn mark_throughput(c: &mut Criterion) {
+    let tracker = ModificationTracker::new(&[1_000_000, 500_000]);
+    let mut group = c.benchmark_group("tracker");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("mark", |b| {
+        let mut i = 0usize;
+        b.iter(|| {
+            tracker.mark(i % 2, (i * 7919) % 500_000);
+            i += 1;
+        })
+    });
+    group.finish();
+}
+
+fn snapshot_and_reset(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tracker_snapshot");
+    for rows in [100_000usize, 1_000_000] {
+        let tracker = ModificationTracker::new(&[rows]);
+        for i in (0..rows).step_by(3) {
+            tracker.mark(0, i);
+        }
+        group.bench_function(format!("snapshot_{rows}"), |b| {
+            b.iter(|| black_box(tracker.snapshot()))
+        });
+    }
+    group.finish();
+}
+
+fn bitvec_iteration(c: &mut Criterion) {
+    let bv = AtomicBitVec::new(1_000_000);
+    for i in (0..1_000_000).step_by(4) {
+        bv.set(i);
+    }
+    let snap = bv.snapshot();
+    c.bench_function("iter_ones_250k_of_1m", |b| {
+        b.iter(|| black_box(snap.iter_ones().count()))
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = mark_throughput, snapshot_and_reset, bitvec_iteration
+}
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! `repro` — regenerates the data behind every figure of the Check-N-Run
+//! paper.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro <experiment> [...]
+//! repro all
+//! ```
+//!
+//! Experiments: `fig3 fig4 fig5 fig6 fig9 fig10 fig11 fig12 fig13 fig14
+//! fig15 fig16 fig17 overheads`. Figures sharing a workload (5/6, 9/10/11,
+//! 12/13, 15/16) are produced together; asking for either prints both.
+//!
+//! Output is CSV with `#` commentary, one block per figure, suitable for
+//! piping into a plotting tool. Every block's header states the paper's
+//! expected shape for comparison.
+
+use cnr_bench::figures;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("usage: repro <fig3|fig4|fig5|fig6|fig9|fig10|fig11|fig12|fig13|fig14|fig15|fig16|fig17|overheads|all> ...");
+        std::process::exit(2);
+    }
+    let mut ran = std::collections::HashSet::new();
+    for arg in &args {
+        // Figures produced by one experiment share a dedup key.
+        let (key, runner): (&str, fn()) = match arg.as_str() {
+            "fig3" => ("fig3", figures::fig3::print),
+            "fig4" => ("fig4", figures::fig4::print),
+            "fig5" | "fig6" => ("fig5_6", figures::fig5_6::print),
+            "fig9" | "fig10" | "fig11" => ("fig9_10_11", figures::fig9_10_11::print),
+            "fig12" | "fig13" => ("fig12_13", figures::fig12_13::print),
+            "fig14" => ("fig14", figures::fig14::print),
+            "fig15" | "fig16" => ("fig15_16", figures::fig15_16::print),
+            "fig17" => ("fig17", figures::fig17::print),
+            "overheads" => ("overheads", figures::overheads::print),
+            "ablations" => ("ablations", figures::ablations::print),
+            "all" => {
+                for f in [
+                    figures::fig3::print,
+                    figures::fig4::print,
+                    figures::fig5_6::print,
+                    figures::fig9_10_11::print,
+                    figures::fig12_13::print,
+                    figures::fig14::print,
+                    figures::fig15_16::print,
+                    figures::fig17::print,
+                    figures::overheads::print,
+                    figures::ablations::print,
+                ] {
+                    f();
+                }
+                return;
+            }
+            other => {
+                eprintln!("unknown experiment: {other}");
+                std::process::exit(2);
+            }
+        };
+        if ran.insert(key) {
+            runner();
+        }
+    }
+}

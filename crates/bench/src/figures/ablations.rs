@@ -1,0 +1,130 @@
+//! Ablation analyses beyond the paper's figures.
+//!
+//! * **Predictor vs oracle** — how close the paper's greedy `Fc ≤ Ic` rule
+//!   gets to the cost-optimal baseline placement (computed by DP on the
+//!   same growth profile).
+//! * **Checkpoint byte entropy** — why generic compression buys ≤7% (§1):
+//!   trained FP32 embedding payloads have near-maximal byte entropy, so
+//!   entropy coders have nothing to squeeze; quantization attacks the
+//!   value *precision* instead.
+
+use crate::workloads::{sampled_rows, trained_model};
+use crate::{f, print_csv};
+use cnr_core::predictor::{greedy_schedule, oracle_schedule};
+use cnr_quant::{QuantScheme, RowSource};
+
+/// Runs the predictor-vs-oracle comparison on a Figure-5-shaped growth
+/// profile. Returns `(intervals, greedy_cost, oracle_cost)`.
+pub fn predictor_vs_oracle(max_intervals: usize) -> Vec<(usize, f64, f64)> {
+    let growth: Vec<f64> = (0..max_intervals)
+        .map(|i| (0.25 + 0.03 * i as f64).min(0.95))
+        .collect();
+    [6usize, 12, 24, 48]
+        .into_iter()
+        .filter(|&n| n <= max_intervals)
+        .map(|n| {
+            let greedy = greedy_schedule(&growth, n);
+            let oracle = oracle_schedule(&growth, n);
+            (n, greedy.total_cost, oracle.total_cost)
+        })
+        .collect()
+}
+
+/// Shannon entropy of a byte stream, in bits/byte.
+pub fn byte_entropy(bytes: &[u8]) -> f64 {
+    if bytes.is_empty() {
+        return 0.0;
+    }
+    let mut counts = [0u64; 256];
+    for &b in bytes {
+        counts[b as usize] += 1;
+    }
+    let n = bytes.len() as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Entropy of checkpoint payloads under different schemes:
+/// `(scheme name, bits_per_byte, payload_bytes)`.
+pub fn payload_entropy() -> Vec<(&'static str, f64, usize)> {
+    let (_, model) = trained_model(42, 300, 16);
+    let rows = sampled_rows(&model, 1500);
+    [
+        ("fp32", QuantScheme::Fp32),
+        ("asymmetric8", QuantScheme::Asymmetric { bits: 8 }),
+        ("asymmetric4", QuantScheme::Asymmetric { bits: 4 }),
+        ("asymmetric2", QuantScheme::Asymmetric { bits: 2 }),
+    ]
+    .into_iter()
+    .map(|(name, scheme)| {
+        let mut payload = Vec::new();
+        for i in 0..rows.num_rows() {
+            payload.extend_from_slice(&scheme.quantize_row(rows.row(i)).payload);
+        }
+        (name, byte_entropy(&payload), payload.len())
+    })
+    .collect()
+}
+
+/// Prints both ablations.
+pub fn print() {
+    let rows: Vec<String> = predictor_vs_oracle(48)
+        .into_iter()
+        .map(|(n, g, o)| format!("{n},{},{},{}", f(g), f(o), f(g / o)))
+        .collect();
+    print_csv(
+        "ablation: intermittent predictor vs DP oracle (total bytes as multiples of one full ckpt)",
+        "intervals,greedy_cost,oracle_cost,greedy_over_oracle",
+        &rows,
+    );
+
+    let rows: Vec<String> = payload_entropy()
+        .into_iter()
+        .map(|(name, h, bytes)| format!("{name},{},{bytes}", f(h)))
+        .collect();
+    print_csv(
+        "ablation: checkpoint payload byte entropy (fp32 near 8 bits/byte => zstd <=7%, paper section 1)",
+        "scheme,entropy_bits_per_byte,payload_bytes",
+        &rows,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn greedy_stays_close_to_oracle() {
+        for (n, greedy, oracle) in predictor_vs_oracle(48) {
+            assert!(oracle <= greedy + 1e-9);
+            assert!(
+                greedy / oracle < 1.3,
+                "greedy {greedy} too far from oracle {oracle} at n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn entropy_of_uniform_bytes_is_eight_bits() {
+        let all: Vec<u8> = (0..=255u8).cycle().take(256 * 64).collect();
+        assert!((byte_entropy(&all) - 8.0).abs() < 1e-9);
+        assert_eq!(byte_entropy(&[]), 0.0);
+        assert_eq!(byte_entropy(&[7u8; 100]), 0.0);
+    }
+
+    #[test]
+    fn fp32_payload_is_near_incompressible() {
+        let e = payload_entropy();
+        let fp32 = e.iter().find(|(n, _, _)| *n == "fp32").unwrap().1;
+        assert!(
+            fp32 > 6.0,
+            "trained fp32 embedding bytes should be high-entropy, got {fp32} bits/byte"
+        );
+    }
+}

@@ -1,0 +1,150 @@
+//! Figures 12 and 13: adaptive quantization latency.
+//!
+//! Paper (on a production checkpoint): ≤600 s at 50 bins; asymmetric-only
+//! ≈126 s; latency grows with `num_bins` (Figure 12) and with `ratio`
+//! (Figure 13, shown at 25 and 45 bins). Absolute seconds depend on
+//! checkpoint size, so we report wall-clock on a fixed scaled table *and*
+//! the ratio to the asymmetric-only baseline, which is scale-free (paper:
+//! adaptive "at least doubles" quantization latency).
+
+use crate::workloads::{sampled_rows, trained_model};
+use crate::{f, print_csv};
+use cnr_quant::{FlatRows, QuantScheme, RowSource};
+use std::time::{Duration, Instant};
+
+/// Quantizes every row of `rows` with `scheme`, returning wall time.
+pub fn quantize_all(rows: &FlatRows, scheme: &QuantScheme) -> Duration {
+    let t0 = Instant::now();
+    for i in 0..rows.num_rows() {
+        let q = scheme.quantize_row(rows.row(i));
+        std::hint::black_box(&q);
+    }
+    t0.elapsed()
+}
+
+/// Latency sweep over bins (Figure 12) at ratio 1.0.
+pub fn run_fig12(rows: &FlatRows, bins_sweep: &[u32], bits: u8) -> Vec<(u32, Duration)> {
+    bins_sweep
+        .iter()
+        .map(|&bins| {
+            (
+                bins,
+                quantize_all(
+                    rows,
+                    &QuantScheme::AdaptiveAsymmetric {
+                        bits,
+                        num_bins: bins,
+                        ratio: 1.0,
+                    },
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Latency sweep over ratio (Figure 13) at fixed bins.
+pub fn run_fig13(rows: &FlatRows, ratios: &[f64], bins: u32, bits: u8) -> Vec<(f64, Duration)> {
+    ratios
+        .iter()
+        .map(|&ratio| {
+            (
+                ratio,
+                quantize_all(
+                    rows,
+                    &QuantScheme::AdaptiveAsymmetric {
+                        bits,
+                        num_bins: bins,
+                        ratio,
+                    },
+                ),
+            )
+        })
+        .collect()
+}
+
+/// Prints both figures.
+pub fn print() {
+    let (_, model) = trained_model(42, 300, 16);
+    let rows = sampled_rows(&model, 4000);
+    let baseline = quantize_all(&rows, &QuantScheme::Asymmetric { bits: 4 });
+    println!(
+        "# asymmetric-only baseline on {} rows: {} ms (paper: 126 s on a production checkpoint)",
+        rows.num_rows(),
+        baseline.as_millis()
+    );
+
+    let bins_sweep = [5u32, 10, 15, 20, 25, 30, 35, 40, 45, 50];
+    let fig12 = run_fig12(&rows, &bins_sweep, 4);
+    let out: Vec<String> = fig12
+        .iter()
+        .map(|(bins, d)| {
+            format!(
+                "{bins},{},{}",
+                d.as_millis(),
+                f(d.as_secs_f64() / baseline.as_secs_f64())
+            )
+        })
+        .collect();
+    print_csv(
+        "fig12: adaptive quantization latency vs bins, ratio=1.0 (paper: grows with bins; <=600s @ 50 bins vs 126s baseline ~ 4.8x)",
+        "num_bins,latency_ms,x_vs_asymmetric",
+        &out,
+    );
+
+    let ratios = [0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0];
+    let mut rows13 = Vec::new();
+    for bins in [25u32, 45] {
+        for (ratio, d) in run_fig13(&rows, &ratios, bins, 4) {
+            rows13.push(format!(
+                "{bins},{ratio},{},{}",
+                d.as_millis(),
+                f(d.as_secs_f64() / baseline.as_secs_f64())
+            ));
+        }
+    }
+    print_csv(
+        "fig13: latency vs ratio at 25 and 45 bins (paper: grows with ratio)",
+        "num_bins,ratio,latency_ms,x_vs_asymmetric",
+        &rows13,
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> FlatRows {
+        let (_, model) = trained_model(9, 50, 16);
+        sampled_rows(&model, 200)
+    }
+
+    #[test]
+    fn latency_grows_with_bins() {
+        let r = rows();
+        let sweep = run_fig12(&r, &[5, 50], 4);
+        assert!(
+            sweep[1].1 > sweep[0].1,
+            "50 bins ({:?}) should cost more than 5 ({:?})",
+            sweep[1].1,
+            sweep[0].1
+        );
+    }
+
+    #[test]
+    fn latency_grows_with_ratio() {
+        let r = rows();
+        let sweep = run_fig13(&r, &[0.1, 1.0], 45, 4);
+        assert!(sweep[1].1 > sweep[0].1);
+    }
+
+    #[test]
+    fn adaptive_costs_more_than_naive() {
+        let r = rows();
+        let naive = quantize_all(&r, &QuantScheme::Asymmetric { bits: 4 });
+        let adaptive = run_fig12(&r, &[45], 4)[0].1;
+        assert!(
+            adaptive > naive * 2,
+            "paper: adaptive at least doubles latency ({naive:?} vs {adaptive:?})"
+        );
+    }
+}

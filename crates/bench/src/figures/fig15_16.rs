@@ -1,0 +1,204 @@
+//! Figures 15 and 16: incremental-policy bandwidth and capacity.
+//!
+//! Paper (per 30-minute interval, % of model size, no quantization):
+//!
+//! * **Figure 15 (bandwidth)** — one-shot's incremental starts ~25% and
+//!   exceeds 50% by interval 10; intermittent re-baselines around interval
+//!   8; consecutive stays flat (~25%) and averages ~33% less bandwidth over
+//!   12 intervals.
+//! * **Figure 16 (capacity)** — one-shot holds baseline + latest delta
+//!   (grows); consecutive keeps *everything* (≈4× model by interval 11);
+//!   intermittent resets to 1× at each re-baseline.
+
+use crate::workloads::{incremental_spec, INCREMENTAL_INTERVAL_BATCHES};
+use crate::{f, print_csv};
+use cnr_core::{CheckpointConfig, EngineBuilder, IntervalStats, PolicyKind, QuantMode};
+use cnr_model::ModelConfig;
+
+/// Per-policy interval series.
+pub struct PolicyRun {
+    /// The policy simulated.
+    pub policy: PolicyKind,
+    /// Per-interval stats from the engine.
+    pub intervals: Vec<IntervalStats>,
+}
+
+/// Runs `intervals` checkpoint intervals under each policy (quantization
+/// off, as in the paper's Figures 15/16).
+pub fn run(intervals: u64, policies: &[PolicyKind], seed: u64) -> Vec<PolicyRun> {
+    policies
+        .iter()
+        .map(|&policy| {
+            let spec = incremental_spec(seed);
+            let model_cfg = ModelConfig::for_dataset(&spec, 16);
+            let mut engine = EngineBuilder::new(spec, model_cfg)
+                .checkpoint_config(CheckpointConfig {
+                    interval_batches: INCREMENTAL_INTERVAL_BATCHES,
+                    policy,
+                    quant: QuantMode::None,
+                    // Retain generously: Figures 15/16 measure what each
+                    // policy *must* keep, which chain-aware retention
+                    // reproduces with one retained chain.
+                    retained_chains: 1,
+                    ..CheckpointConfig::default()
+                })
+                .cluster_shape(1, 4)
+                .build()
+                .expect("engine");
+            engine
+                .train_batches(intervals * INCREMENTAL_INTERVAL_BATCHES)
+                .expect("training");
+            PolicyRun {
+                policy,
+                intervals: engine.stats().intervals.clone(),
+            }
+        })
+        .collect()
+}
+
+/// Prints both figures.
+pub fn print() {
+    let runs = run(
+        12,
+        &[
+            PolicyKind::OneShot,
+            PolicyKind::Intermittent,
+            PolicyKind::Consecutive,
+        ],
+        21,
+    );
+
+    let mut rows15 = Vec::new();
+    let mut rows16 = Vec::new();
+    for r in &runs {
+        let name = match r.policy {
+            PolicyKind::OneShot => "one-shot",
+            PolicyKind::Intermittent => "intermittent",
+            PolicyKind::Consecutive => "consecutive",
+            PolicyKind::FullOnly => "full-only",
+        };
+        for i in &r.intervals {
+            rows15.push(format!(
+                "{name},{},{},{:?}",
+                i.interval,
+                f(i.stored_fraction * 100.0),
+                i.kind
+            ));
+            rows16.push(format!(
+                "{name},{},{}",
+                i.interval,
+                f(i.capacity_fraction * 100.0)
+            ));
+        }
+    }
+    print_csv(
+        "fig15: checkpoint size per interval, % of model (paper: one-shot 25%->50%+, intermittent re-baselines ~8, consecutive flat)",
+        "policy,interval,stored_pct_of_model,kind",
+        &rows15,
+    );
+    print_csv(
+        "fig16: storage capacity per interval, % of model (paper: consecutive ~400% @ 11, intermittent resets at re-baseline)",
+        "policy,interval,capacity_pct_of_model",
+        &rows16,
+    );
+
+    // Headline: consecutive's average bandwidth advantage over 12 intervals
+    // (paper: ~33% less).
+    let avg = |p: PolicyKind| {
+        let r = runs.iter().find(|r| r.policy == p).unwrap();
+        r.intervals
+            .iter()
+            .map(|i| i.stored_fraction)
+            .sum::<f64>()
+            / r.intervals.len() as f64
+    };
+    let oneshot = avg(PolicyKind::OneShot);
+    let consecutive = avg(PolicyKind::Consecutive);
+    println!(
+        "# consecutive avg bandwidth vs one-shot: {}% less (paper: ~33%)",
+        f((1.0 - consecutive / oneshot) * 100.0)
+    );
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnr_core::CheckpointKind;
+
+    fn runs() -> Vec<PolicyRun> {
+        run(
+            6,
+            &[
+                PolicyKind::OneShot,
+                PolicyKind::Consecutive,
+                PolicyKind::Intermittent,
+            ],
+            5,
+        )
+    }
+
+    #[test]
+    fn one_shot_sizes_grow_consecutive_stay_flat() {
+        let rs = runs();
+        let oneshot = &rs[0].intervals;
+        let consecutive = &rs[1].intervals;
+        // One-shot incrementals are non-decreasing (supersets).
+        let os: Vec<f64> = oneshot[1..].iter().map(|i| i.stored_fraction).collect();
+        for w in os.windows(2) {
+            assert!(w[1] >= w[0] - 1e-9, "one-shot deltas must grow: {os:?}");
+        }
+        // Consecutive deltas stay within a narrow band.
+        let cs: Vec<f64> = consecutive[1..].iter().map(|i| i.stored_fraction).collect();
+        let mean = cs.iter().sum::<f64>() / cs.len() as f64;
+        for c in &cs {
+            assert!((c - mean).abs() / mean < 0.2, "consecutive unstable: {cs:?}");
+        }
+        // And the last one-shot delta exceeds the consecutive one.
+        assert!(os.last().unwrap() > cs.last().unwrap());
+    }
+
+    #[test]
+    fn consecutive_capacity_outgrows_one_shot() {
+        let rs = runs();
+        let oneshot_cap = rs[0].intervals.last().unwrap().capacity_fraction;
+        let consecutive_cap = rs[1].intervals.last().unwrap().capacity_fraction;
+        assert!(
+            consecutive_cap > oneshot_cap,
+            "consecutive {consecutive_cap} should exceed one-shot {oneshot_cap}"
+        );
+        // Consecutive capacity must be strictly increasing.
+        let caps: Vec<f64> = rs[1]
+            .intervals
+            .iter()
+            .map(|i| i.capacity_fraction)
+            .collect();
+        for w in caps.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+    }
+
+    #[test]
+    fn first_incremental_is_roughly_a_quarter() {
+        // Calibration check for the paper-comparable starting point.
+        let rs = runs();
+        let first_incr = rs[0].intervals[1].stored_fraction;
+        assert!(
+            (0.10..0.45).contains(&first_incr),
+            "first incremental {first_incr} out of calibrated band"
+        );
+    }
+
+    #[test]
+    fn intermittent_matches_one_shot_until_rebaseline() {
+        let rs = runs();
+        let oneshot = &rs[0].intervals;
+        let intermittent = &rs[2].intervals;
+        for (a, b) in oneshot.iter().zip(intermittent) {
+            if b.kind == CheckpointKind::Full && a.kind != CheckpointKind::Full {
+                break; // diverged at the re-baseline
+            }
+            assert!((a.stored_fraction - b.stored_fraction).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,12 @@
+//! One module per paper figure.
+
+pub mod ablations;
+pub mod fig12_13;
+pub mod fig14;
+pub mod fig15_16;
+pub mod fig17;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5_6;
+pub mod fig9_10_11;
+pub mod overheads;

@@ -1,0 +1,117 @@
+//! A shared simulated clock.
+//!
+//! Experiments in this repository run in *simulated* time: a 30-minute
+//! checkpoint interval (§4.3) must not take 30 wall-clock minutes. The clock
+//! is a monotonically advancing microsecond counter shared between the
+//! trainer (which advances it per batch), the simulated remote store (which
+//! advances it per transfer), and the controller (which schedules checkpoint
+//! intervals against it).
+//!
+//! The clock is deliberately *cooperative*: components call
+//! [`SimClock::advance`]; nothing advances on its own. That keeps every
+//! experiment deterministic.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// A shareable, monotonically advancing simulated clock.
+///
+/// Cloning is cheap; all clones observe the same time.
+#[derive(Debug, Clone, Default)]
+pub struct SimClock {
+    micros: Arc<AtomicU64>,
+}
+
+impl SimClock {
+    /// Creates a clock at time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current simulated time since the epoch of this clock.
+    pub fn now(&self) -> Duration {
+        Duration::from_micros(self.micros.load(Ordering::Acquire))
+    }
+
+    /// Current time in whole microseconds.
+    pub fn now_micros(&self) -> u64 {
+        self.micros.load(Ordering::Acquire)
+    }
+
+    /// Advances the clock by `d` and returns the new time.
+    pub fn advance(&self, d: Duration) -> Duration {
+        let add = d.as_micros().min(u128::from(u64::MAX)) as u64;
+        let new = self.micros.fetch_add(add, Ordering::AcqRel) + add;
+        Duration::from_micros(new)
+    }
+
+    /// Advances the clock to at least `t` (no-op if already past).
+    ///
+    /// Used by the storage simulator: a transfer that finishes at absolute
+    /// time `t` moves the clock there unless something else already did.
+    pub fn advance_to(&self, t: Duration) {
+        let target = t.as_micros().min(u128::from(u64::MAX)) as u64;
+        let mut cur = self.micros.load(Ordering::Acquire);
+        while cur < target {
+            match self.micros.compare_exchange_weak(
+                cur,
+                target,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => return,
+                Err(observed) => cur = observed,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_at_zero_and_advances() {
+        let c = SimClock::new();
+        assert_eq!(c.now(), Duration::ZERO);
+        c.advance(Duration::from_millis(5));
+        assert_eq!(c.now(), Duration::from_millis(5));
+    }
+
+    #[test]
+    fn clones_share_time() {
+        let c = SimClock::new();
+        let c2 = c.clone();
+        c.advance(Duration::from_secs(1));
+        assert_eq!(c2.now(), Duration::from_secs(1));
+    }
+
+    #[test]
+    fn advance_to_is_monotone() {
+        let c = SimClock::new();
+        c.advance_to(Duration::from_secs(10));
+        assert_eq!(c.now(), Duration::from_secs(10));
+        // Going backwards is a no-op.
+        c.advance_to(Duration::from_secs(5));
+        assert_eq!(c.now(), Duration::from_secs(10));
+    }
+
+    #[test]
+    fn concurrent_advance_accumulates() {
+        let c = SimClock::new();
+        let mut handles = Vec::new();
+        for _ in 0..8 {
+            let c = c.clone();
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    c.advance(Duration::from_micros(1));
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(c.now(), Duration::from_micros(8000));
+    }
+}

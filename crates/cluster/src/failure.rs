@@ -1,0 +1,311 @@
+//! Time-to-failure models for long-running training jobs.
+//!
+//! §3.1 of the paper measures failures across 21 clusters for a month:
+//! network issues, hardware failures, OOMs, power outages, code bugs. The
+//! observed distribution is fat-tailed: 10% of failed jobs ran at least
+//! 13.5 hours before failing, and the top 1% at least 53.9 hours (jobs that
+//! fail within 5 minutes are excluded as user setup errors).
+//!
+//! A log-normal time-to-failure reproduces that tail. Solving
+//! `P(T ≥ 13.5h) = 0.10` and `P(T ≥ 53.9h) = 0.01` gives
+//! `σ = ln(53.9/13.5)/(z₀.₉₉ − z₀.₉) ≈ 1.325` and
+//! `μ = ln 13.5 − z₀.₉·σ ≈ 0.904` (hours), i.e. a median of ≈2.47 h —
+//! those are [`FailureModel::paper_calibrated`]'s parameters.
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// A sampled time-to-failure.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct TtfSample {
+    /// Execution time completed before the failure.
+    pub time_to_failure: Duration,
+}
+
+/// Distribution of job time-to-failure.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FailureModel {
+    /// Memoryless failures at a constant rate (classic MTBF model).
+    Exponential {
+        /// Mean time between failures.
+        mtbf: Duration,
+    },
+    /// Weibull: `shape < 1` models infant mortality, `> 1` wear-out.
+    Weibull {
+        /// Scale parameter λ.
+        scale: Duration,
+        /// Shape parameter k.
+        shape: f64,
+    },
+    /// Log-normal of `ln T ~ N(mu_ln_hours, sigma_ln_hours²)`, with T in hours.
+    LogNormal {
+        /// Mean of ln(T/hours).
+        mu_ln_hours: f64,
+        /// Std-dev of ln(T/hours).
+        sigma_ln_hours: f64,
+    },
+    /// No failures ever (control runs).
+    None,
+}
+
+impl FailureModel {
+    /// Log-normal calibrated to the paper's Figure 3 percentiles
+    /// (P90 = 13.5 h, P99 = 53.9 h).
+    pub fn paper_calibrated() -> Self {
+        FailureModel::LogNormal {
+            mu_ln_hours: 0.904,
+            sigma_ln_hours: 1.325,
+        }
+    }
+
+    /// Samples a time-to-failure. Returns `None` for [`FailureModel::None`].
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Option<TtfSample> {
+        let hours = match self {
+            FailureModel::None => return None,
+            FailureModel::Exponential { mtbf } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                -u.ln() * mtbf.as_secs_f64() / 3600.0
+            }
+            FailureModel::Weibull { scale, shape } => {
+                let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+                (-u.ln()).powf(1.0 / shape) * scale.as_secs_f64() / 3600.0
+            }
+            FailureModel::LogNormal {
+                mu_ln_hours,
+                sigma_ln_hours,
+            } => {
+                let z = standard_normal(rng);
+                (mu_ln_hours + sigma_ln_hours * z).exp()
+            }
+        };
+        Some(TtfSample {
+            time_to_failure: Duration::from_secs_f64(hours * 3600.0),
+        })
+    }
+
+    /// Expected number of failures within a run of length `d` (approximation
+    /// treating failures as a renewal process with this TTF distribution).
+    ///
+    /// Used by the dynamic bit-width selector (§6.2.1): Check-N-Run estimates
+    /// the expected number of restores from the failure probability and the
+    /// expected training time.
+    pub fn expected_failures(&self, d: Duration) -> f64 {
+        match self {
+            FailureModel::None => 0.0,
+            FailureModel::Exponential { mtbf } => d.as_secs_f64() / mtbf.as_secs_f64(),
+            FailureModel::Weibull { scale, shape } => {
+                // Mean of Weibull = λ·Γ(1 + 1/k).
+                let mean = scale.as_secs_f64() * gamma(1.0 + 1.0 / shape);
+                d.as_secs_f64() / mean
+            }
+            FailureModel::LogNormal {
+                mu_ln_hours,
+                sigma_ln_hours,
+            } => {
+                let mean_hours = (mu_ln_hours + sigma_ln_hours * sigma_ln_hours / 2.0).exp();
+                d.as_secs_f64() / (mean_hours * 3600.0)
+            }
+        }
+    }
+
+    /// Samples the failure times occurring within a run of length `total`,
+    /// assuming the job restarts (renews) immediately after each failure.
+    pub fn failure_times_within<R: Rng + ?Sized>(
+        &self,
+        total: Duration,
+        rng: &mut R,
+    ) -> Vec<Duration> {
+        let mut times = Vec::new();
+        let mut t = Duration::ZERO;
+        while let Some(s) = self.sample(rng) {
+            let next = t + s.time_to_failure;
+            if next >= total {
+                break;
+            }
+            times.push(next);
+            t = next;
+        }
+        times
+    }
+}
+
+/// Box–Muller standard normal.
+fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Lanczos approximation of the gamma function (only needed for Weibull
+/// means; accuracy ~1e-10 over the arguments we use).
+fn gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        std::f64::consts::PI / ((std::f64::consts::PI * x).sin() * gamma(1.0 - x))
+    } else {
+        let x = x - 1.0;
+        let mut a = COEF[0];
+        let t = x + G + 0.5;
+        for (i, &c) in COEF.iter().enumerate().skip(1) {
+            a += c / (x + i as f64);
+        }
+        (2.0 * std::f64::consts::PI).sqrt() * t.powf(x + 0.5) * (-t).exp() * a
+    }
+}
+
+/// Builds an empirical CDF from samples: returns `(hours, fraction ≤ hours)`
+/// pairs at the requested quantile resolution. Samples shorter than
+/// `min_duration` are dropped, mirroring the paper's exclusion of <5-minute
+/// setup failures.
+pub fn empirical_cdf(
+    samples: &[Duration],
+    min_duration: Duration,
+    points: usize,
+) -> Vec<(f64, f64)> {
+    let mut hours: Vec<f64> = samples
+        .iter()
+        .filter(|d| **d >= min_duration)
+        .map(|d| d.as_secs_f64() / 3600.0)
+        .collect();
+    hours.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    if hours.is_empty() {
+        return Vec::new();
+    }
+    (1..=points)
+        .map(|i| {
+            let q = i as f64 / points as f64;
+            let idx = ((q * hours.len() as f64).ceil() as usize).clamp(1, hours.len()) - 1;
+            (hours[idx], q)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn quantile(samples: &mut [f64], q: f64) -> f64 {
+        samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        samples[((samples.len() as f64 * q) as usize).min(samples.len() - 1)]
+    }
+
+    #[test]
+    fn paper_calibration_hits_percentiles() {
+        let model = FailureModel::paper_calibrated();
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut hours: Vec<f64> = (0..200_000)
+            .map(|_| model.sample(&mut rng).unwrap().time_to_failure.as_secs_f64() / 3600.0)
+            .collect();
+        let p90 = quantile(&mut hours, 0.90);
+        let p99 = quantile(&mut hours, 0.99);
+        assert!(
+            (p90 - 13.5).abs() < 1.0,
+            "P90 {p90} should be ~13.5h (paper Figure 3)"
+        );
+        assert!(
+            (p99 - 53.9).abs() < 5.0,
+            "P99 {p99} should be ~53.9h (paper Figure 3)"
+        );
+    }
+
+    #[test]
+    fn exponential_mean_matches_mtbf() {
+        let model = FailureModel::Exponential {
+            mtbf: Duration::from_secs(3600),
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let mean: f64 = (0..100_000)
+            .map(|_| model.sample(&mut rng).unwrap().time_to_failure.as_secs_f64())
+            .sum::<f64>()
+            / 100_000.0;
+        assert!((mean - 3600.0).abs() < 60.0, "mean {mean} vs 3600");
+    }
+
+    #[test]
+    fn none_never_fails() {
+        let mut rng = StdRng::seed_from_u64(2);
+        assert!(FailureModel::None.sample(&mut rng).is_none());
+        assert_eq!(FailureModel::None.expected_failures(Duration::from_secs(1_000_000)), 0.0);
+    }
+
+    #[test]
+    fn expected_failures_scales_linearly() {
+        let m = FailureModel::Exponential {
+            mtbf: Duration::from_secs(100),
+        };
+        let e1 = m.expected_failures(Duration::from_secs(100));
+        let e5 = m.expected_failures(Duration::from_secs(500));
+        assert!((e1 - 1.0).abs() < 1e-9);
+        assert!((e5 - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn weibull_expected_failures_use_gamma_mean() {
+        // shape=1 degenerates to exponential: mean = scale.
+        let m = FailureModel::Weibull {
+            scale: Duration::from_secs(200),
+            shape: 1.0,
+        };
+        let e = m.expected_failures(Duration::from_secs(200));
+        assert!((e - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn gamma_known_values() {
+        assert!((gamma(1.0) - 1.0).abs() < 1e-9);
+        assert!((gamma(2.0) - 1.0).abs() < 1e-9);
+        assert!((gamma(5.0) - 24.0).abs() < 1e-6);
+        assert!((gamma(0.5) - std::f64::consts::PI.sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn failure_times_are_ordered_and_bounded() {
+        let m = FailureModel::Exponential {
+            mtbf: Duration::from_secs(600),
+        };
+        let mut rng = StdRng::seed_from_u64(7);
+        let total = Duration::from_secs(86_400);
+        let times = m.failure_times_within(total, &mut rng);
+        assert!(!times.is_empty(), "a day at 10-minute MTBF must fail");
+        for w in times.windows(2) {
+            assert!(w[0] < w[1]);
+        }
+        assert!(*times.last().unwrap() < total);
+    }
+
+    #[test]
+    fn empirical_cdf_monotone_and_filtered() {
+        let samples: Vec<Duration> = (1..=100)
+            .map(|i| Duration::from_secs(i * 360)) // 0.1h .. 10h
+            .chain(std::iter::once(Duration::from_secs(60))) // dropped (<5 min)
+            .collect();
+        let cdf = empirical_cdf(&samples, Duration::from_secs(300), 10);
+        assert_eq!(cdf.len(), 10);
+        for w in cdf.windows(2) {
+            assert!(w[0].0 <= w[1].0, "hours must be non-decreasing");
+            assert!(w[0].1 < w[1].1, "quantiles must increase");
+        }
+        // The 60-second sample was filtered: minimum hour > 0.08.
+        assert!(cdf[0].0 > 0.08);
+    }
+
+    #[test]
+    fn empirical_cdf_empty_after_filter() {
+        let samples = vec![Duration::from_secs(10)];
+        assert!(empirical_cdf(&samples, Duration::from_secs(300), 5).is_empty());
+    }
+}

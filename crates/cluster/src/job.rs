@@ -1,0 +1,69 @@
+//! Training job descriptors.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Unique identifier of a training job within a fleet simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct JobId(pub u64);
+
+impl std::fmt::Display for JobId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// Scheduling priority; higher runs first (Bistro/PBS-style, §2.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum JobPriority {
+    /// Best-effort experimentation jobs.
+    Low,
+    /// Default production training.
+    Normal,
+    /// Business-critical retraining.
+    High,
+}
+
+/// A training job submitted to the fleet.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TrainingJob {
+    /// Job identity.
+    pub id: JobId,
+    /// Scheduling priority.
+    pub priority: JobPriority,
+    /// Number of nodes the job occupies while running.
+    pub nodes: usize,
+    /// Training time needed to complete (excluding failure rework).
+    pub work: Duration,
+    /// Submission time relative to the simulation epoch.
+    pub submitted_at: Duration,
+}
+
+impl TrainingJob {
+    /// Convenience constructor with normal priority.
+    pub fn new(id: u64, nodes: usize, work: Duration, submitted_at: Duration) -> Self {
+        Self {
+            id: JobId(id),
+            priority: JobPriority::Normal,
+            nodes,
+            work,
+            submitted_at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn priority_orders_correctly() {
+        assert!(JobPriority::High > JobPriority::Normal);
+        assert!(JobPriority::Normal > JobPriority::Low);
+    }
+
+    #[test]
+    fn display_formats_id() {
+        assert_eq!(JobId(7).to_string(), "job-7");
+    }
+}

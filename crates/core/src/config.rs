@@ -1,0 +1,165 @@
+//! Checkpoint engine configuration.
+
+use cnr_quant::QuantScheme;
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Incremental checkpointing policy (§5.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PolicyKind {
+    /// Every checkpoint is a full model copy (the paper's baseline).
+    FullOnly,
+    /// One full baseline, then incrementals that accumulate all
+    /// modifications since that baseline ("one-shot baseline").
+    OneShot,
+    /// Each incremental stores only the rows modified during the last
+    /// interval; restore reads the whole chain ("consecutive increment").
+    Consecutive,
+    /// One-shot behaviour plus the history-based predictor that re-takes a
+    /// full baseline when `Fc ≤ Ic` ("intermittent baseline", the default).
+    Intermittent,
+}
+
+/// Quantization mode for checkpoint payloads (§5.2, §6.2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum QuantMode {
+    /// No quantization: FP32 passthrough (bit-exact restores).
+    None,
+    /// A fixed scheme for every checkpoint.
+    Fixed(QuantScheme),
+    /// The paper's dynamic selection: pick the bit-width from the expected
+    /// number of restores (2/3/4/8 bits), falling back to 8-bit when actual
+    /// restores exceed the estimate.
+    Dynamic {
+        /// Expected number of restore events over the job's lifetime.
+        expected_restores: u32,
+    },
+}
+
+/// Full configuration of the Check-N-Run engine.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CheckpointConfig {
+    /// Batches per checkpoint interval (the paper defaults to the batch
+    /// count equivalent of 30 minutes).
+    pub interval_batches: u64,
+    /// Incremental policy.
+    pub policy: PolicyKind,
+    /// Quantization mode.
+    pub quant: QuantMode,
+    /// Embedding rows per storage chunk (pipelining granularity, §4.4).
+    pub chunk_rows: usize,
+    /// Background quantization worker threads (the paper's "dedicated CPU
+    /// processes").
+    pub quantize_workers: usize,
+    /// How many complete restore chains to retain; older chains are deleted
+    /// once a newer checkpoint is valid (§4.4).
+    pub retained_chains: usize,
+    /// Simulated host-copy bandwidth per device for the snapshot stall
+    /// (GPU HBM → pinned host memory, §4.2).
+    pub snapshot_bandwidth_per_device: f64,
+    /// Devices in the (simulated) training cluster.
+    pub devices: u32,
+}
+
+impl Default for CheckpointConfig {
+    fn default() -> Self {
+        Self {
+            interval_batches: 1000,
+            policy: PolicyKind::Intermittent,
+            quant: QuantMode::None,
+            chunk_rows: 4096,
+            quantize_workers: 2,
+            retained_chains: 1,
+            snapshot_bandwidth_per_device: 5.0e9,
+            devices: 8,
+        }
+    }
+}
+
+impl CheckpointConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.interval_batches == 0 {
+            return Err("interval_batches must be positive".into());
+        }
+        if self.chunk_rows == 0 {
+            return Err("chunk_rows must be positive".into());
+        }
+        if self.quantize_workers == 0 {
+            return Err("need at least one quantize worker".into());
+        }
+        if self.retained_chains == 0 {
+            return Err("must retain at least one chain".into());
+        }
+        if self.snapshot_bandwidth_per_device <= 0.0 {
+            return Err("snapshot bandwidth must be positive".into());
+        }
+        if self.devices == 0 {
+            return Err("need at least one device".into());
+        }
+        if let QuantMode::Fixed(s) = self.quant {
+            let bits = s.bits();
+            if bits != 32 && bits != 16 && !(1..=8).contains(&bits) {
+                return Err(format!("unsupported checkpoint bit width {bits}"));
+            }
+        }
+        Ok(())
+    }
+
+    /// Snapshot stall duration for a model whose largest per-device shard is
+    /// `max_device_bytes` (§4.2: devices copy concurrently, so the max
+    /// shard bounds the stall).
+    pub fn snapshot_stall(&self, max_device_bytes: u64) -> Duration {
+        Duration::from_secs_f64(max_device_bytes as f64 / self.snapshot_bandwidth_per_device)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid() {
+        assert!(CheckpointConfig::default().validate().is_ok());
+    }
+
+    #[test]
+    fn validation_catches_zeroes() {
+        let mut c = CheckpointConfig::default();
+        c.interval_batches = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = CheckpointConfig::default();
+        c.chunk_rows = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = CheckpointConfig::default();
+        c.quantize_workers = 0;
+        assert!(c.validate().is_err());
+
+        let mut c = CheckpointConfig::default();
+        c.retained_chains = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn paper_scale_snapshot_stall_is_about_seven_seconds() {
+        // §4.2: a model partitioned over 128 GPUs stalls <7s. With ~32 GB
+        // HBM per device and 5 GB/s host copy, the bound is 6.4s.
+        let cfg = CheckpointConfig {
+            devices: 128,
+            snapshot_bandwidth_per_device: 5.0e9,
+            ..Default::default()
+        };
+        let stall = cfg.snapshot_stall(32 * 1024 * 1024 * 1024);
+        assert!(stall < Duration::from_secs(7));
+        assert!(stall > Duration::from_secs(6));
+    }
+
+    #[test]
+    fn fixed_quant_bits_validated() {
+        let mut c = CheckpointConfig::default();
+        c.quant = QuantMode::Fixed(QuantScheme::Asymmetric { bits: 8 });
+        assert!(c.validate().is_ok());
+    }
+}

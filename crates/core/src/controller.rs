@@ -1,0 +1,287 @@
+//! The Check-N-Run controller (§4.4): checkpoint registry, validity, and
+//! retention.
+//!
+//! A checkpoint becomes *valid* only when every chunk and the manifest are
+//! durable; the controller then registers it and applies the retention
+//! policy — keep the restore chains of the most recent `retained_chains`
+//! checkpoints, delete everything else. Chain-aware retention is what makes
+//! the capacity curves of Figure 16 policy-dependent: one-shot keeps
+//! {baseline, latest delta}, consecutive keeps everything, intermittent
+//! resets at each re-baseline.
+
+use crate::error::{CnrError, Result};
+use crate::manifest::{CheckpointId, CheckpointKind, Manifest};
+use cnr_storage::ObjectStore;
+use std::collections::BTreeMap;
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// A registered (valid) checkpoint's bookkeeping entry.
+#[derive(Debug, Clone)]
+struct Registered {
+    kind: CheckpointKind,
+    base: Option<CheckpointId>,
+    /// All object keys belonging to this checkpoint (chunks + manifest).
+    keys: Vec<String>,
+    bytes: u64,
+}
+
+/// Tracks valid checkpoints of one job and enforces retention.
+pub struct CheckpointController {
+    store: Arc<dyn ObjectStore>,
+    job: String,
+    retained_chains: usize,
+    checkpoints: BTreeMap<CheckpointId, Registered>,
+}
+
+impl CheckpointController {
+    /// Creates a controller for `job` retaining `retained_chains` chains.
+    pub fn new(store: Arc<dyn ObjectStore>, job: impl Into<String>, retained_chains: usize) -> Self {
+        assert!(retained_chains >= 1, "must retain at least one chain");
+        Self {
+            store,
+            job: job.into(),
+            retained_chains,
+            checkpoints: BTreeMap::new(),
+        }
+    }
+
+    /// Declares a stored checkpoint valid and applies retention. Returns the
+    /// ids that were deleted.
+    pub fn register(&mut self, manifest: &Manifest, manifest_key: &str) -> Result<Vec<CheckpointId>> {
+        let mut keys: Vec<String> = manifest.chunks.iter().map(|c| c.key.clone()).collect();
+        keys.push(manifest_key.to_string());
+        let bytes = manifest.total_bytes();
+        self.checkpoints.insert(
+            manifest.id,
+            Registered {
+                kind: manifest.kind,
+                base: manifest.base,
+                keys,
+                bytes,
+            },
+        );
+        self.apply_retention()
+    }
+
+    /// The newest valid checkpoint, if any.
+    pub fn latest(&self) -> Option<CheckpointId> {
+        self.checkpoints.keys().next_back().copied()
+    }
+
+    /// All live checkpoint ids, ascending.
+    pub fn live(&self) -> Vec<CheckpointId> {
+        self.checkpoints.keys().copied().collect()
+    }
+
+    /// Total logical bytes held by live checkpoints.
+    pub fn live_bytes(&self) -> u64 {
+        self.checkpoints.values().map(|r| r.bytes).sum()
+    }
+
+    /// The restore chain of `id` (oldest first), from the registry.
+    pub fn chain_of(&self, id: CheckpointId) -> Result<Vec<CheckpointId>> {
+        let mut chain = vec![id];
+        let mut cur = id;
+        loop {
+            let reg = self
+                .checkpoints
+                .get(&cur)
+                .ok_or_else(|| CnrError::Corrupt(format!("chain references unknown {cur}")))?;
+            if reg.kind == CheckpointKind::Full {
+                break;
+            }
+            let base = reg
+                .base
+                .ok_or_else(|| CnrError::Corrupt(format!("incremental {cur} has no base")))?;
+            chain.push(base);
+            cur = base;
+        }
+        chain.reverse();
+        Ok(chain)
+    }
+
+    /// Deletes every checkpoint not needed by the newest `retained_chains`
+    /// checkpoints' restore chains.
+    fn apply_retention(&mut self) -> Result<Vec<CheckpointId>> {
+        let newest: Vec<CheckpointId> = self
+            .checkpoints
+            .keys()
+            .rev()
+            .take(self.retained_chains)
+            .copied()
+            .collect();
+        let mut needed: HashSet<CheckpointId> = HashSet::new();
+        for id in newest {
+            for link in self.chain_of(id)? {
+                needed.insert(link);
+            }
+        }
+        let doomed: Vec<CheckpointId> = self
+            .checkpoints
+            .keys()
+            .filter(|id| !needed.contains(id))
+            .copied()
+            .collect();
+        for id in &doomed {
+            let reg = self.checkpoints.remove(id).expect("doomed id exists");
+            for key in &reg.keys {
+                // A missing object during deletion means our bookkeeping and
+                // the store disagree; surface it rather than ignore it.
+                self.store.delete(key)?;
+            }
+        }
+        Ok(doomed)
+    }
+
+    /// The job this controller manages.
+    pub fn job(&self) -> &str {
+        &self.job
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::TableMeta;
+    use bytes::Bytes;
+    use cnr_quant::QuantScheme;
+    use cnr_reader::ReaderState;
+    use cnr_storage::InMemoryStore;
+
+    /// Builds and stores a synthetic manifest (+ fake chunk objects).
+    fn store_ckpt(
+        store: &InMemoryStore,
+        id: u64,
+        kind: CheckpointKind,
+        base: Option<u64>,
+        chunk_bytes: usize,
+    ) -> (Manifest, String) {
+        let cid = CheckpointId(id);
+        let chunk_key = Manifest::chunk_key("job", cid, 0);
+        store
+            .put(&chunk_key, Bytes::from(vec![0u8; chunk_bytes]))
+            .unwrap();
+        let manifest = Manifest {
+            id: cid,
+            kind,
+            base: base.map(CheckpointId),
+            iteration: id * 100,
+            reader_state: ReaderState::at(id * 100),
+            scheme: QuantScheme::Fp32,
+            tables: vec![TableMeta {
+                rows: 10,
+                dim: 4,
+                has_optimizer_state: false,
+            }],
+            bottom_mlp: vec![],
+            top_mlp: vec![],
+            chunks: vec![crate::manifest::ChunkMeta {
+                key: chunk_key,
+                rows: 10,
+                bytes: chunk_bytes as u64,
+            }],
+            payload_bytes: chunk_bytes as u64,
+        };
+        let key = Manifest::key("job", cid);
+        store.put(&key, Bytes::from(manifest.encode())).unwrap();
+        (manifest, key)
+    }
+
+    #[test]
+    fn one_shot_retention_keeps_baseline_and_latest() {
+        let store = Arc::new(InMemoryStore::new());
+        let mut ctl = CheckpointController::new(store.clone(), "job", 1);
+        let (m0, k0) = store_ckpt(&store, 0, CheckpointKind::Full, None, 100);
+        ctl.register(&m0, &k0).unwrap();
+        // Three one-shot incrementals, all based on 0.
+        for i in 1..=3 {
+            let (m, k) = store_ckpt(&store, i, CheckpointKind::Incremental, Some(0), 50);
+            let deleted = ctl.register(&m, &k).unwrap();
+            if i > 1 {
+                // The previous incremental is obsolete.
+                assert_eq!(deleted, vec![CheckpointId(i - 1)]);
+            }
+        }
+        assert_eq!(ctl.live(), vec![CheckpointId(0), CheckpointId(3)]);
+        // Deleted objects are actually gone from the store.
+        assert!(store.get(&Manifest::key("job", CheckpointId(1))).is_err());
+        assert!(store
+            .get(&Manifest::chunk_key("job", CheckpointId(1), 0))
+            .is_err());
+    }
+
+    #[test]
+    fn consecutive_retention_keeps_whole_chain() {
+        let store = Arc::new(InMemoryStore::new());
+        let mut ctl = CheckpointController::new(store.clone(), "job", 1);
+        let (m0, k0) = store_ckpt(&store, 0, CheckpointKind::Full, None, 100);
+        ctl.register(&m0, &k0).unwrap();
+        for i in 1..=4 {
+            let (m, k) = store_ckpt(&store, i, CheckpointKind::Incremental, Some(i - 1), 30);
+            let deleted = ctl.register(&m, &k).unwrap();
+            assert!(deleted.is_empty(), "consecutive chains delete nothing");
+        }
+        assert_eq!(ctl.live().len(), 5);
+        assert_eq!(ctl.live_bytes(), {
+            let manifests: u64 = ctl
+                .live()
+                .iter()
+                .map(|&id| {
+                    Manifest::decode(&store.get(&Manifest::key("job", id)).unwrap())
+                        .unwrap()
+                        .total_bytes()
+                })
+                .sum();
+            manifests
+        });
+    }
+
+    #[test]
+    fn rebaseline_drops_the_old_chain() {
+        let store = Arc::new(InMemoryStore::new());
+        let mut ctl = CheckpointController::new(store.clone(), "job", 1);
+        let (m0, k0) = store_ckpt(&store, 0, CheckpointKind::Full, None, 100);
+        ctl.register(&m0, &k0).unwrap();
+        let (m1, k1) = store_ckpt(&store, 1, CheckpointKind::Incremental, Some(0), 40);
+        ctl.register(&m1, &k1).unwrap();
+        // New baseline: everything before it is obsolete.
+        let (m2, k2) = store_ckpt(&store, 2, CheckpointKind::Full, None, 100);
+        let deleted = ctl.register(&m2, &k2).unwrap();
+        assert_eq!(deleted, vec![CheckpointId(0), CheckpointId(1)]);
+        assert_eq!(ctl.live(), vec![CheckpointId(2)]);
+    }
+
+    #[test]
+    fn retained_chains_2_keeps_previous_restore_point() {
+        let store = Arc::new(InMemoryStore::new());
+        let mut ctl = CheckpointController::new(store.clone(), "job", 2);
+        let (m0, k0) = store_ckpt(&store, 0, CheckpointKind::Full, None, 100);
+        ctl.register(&m0, &k0).unwrap();
+        for i in 1..=3 {
+            let (m, k) = store_ckpt(&store, i, CheckpointKind::Incremental, Some(0), 50);
+            ctl.register(&m, &k).unwrap();
+        }
+        // Chains of 3 and 2 are kept: {0,3} ∪ {0,2} = {0,2,3}.
+        assert_eq!(
+            ctl.live(),
+            vec![CheckpointId(0), CheckpointId(2), CheckpointId(3)]
+        );
+    }
+
+    #[test]
+    fn latest_and_chain_of() {
+        let store = Arc::new(InMemoryStore::new());
+        let mut ctl = CheckpointController::new(store.clone(), "job", 1);
+        assert!(ctl.latest().is_none());
+        let (m0, k0) = store_ckpt(&store, 0, CheckpointKind::Full, None, 10);
+        ctl.register(&m0, &k0).unwrap();
+        let (m1, k1) = store_ckpt(&store, 1, CheckpointKind::Incremental, Some(0), 10);
+        ctl.register(&m1, &k1).unwrap();
+        assert_eq!(ctl.latest(), Some(CheckpointId(1)));
+        assert_eq!(
+            ctl.chain_of(CheckpointId(1)).unwrap(),
+            vec![CheckpointId(0), CheckpointId(1)]
+        );
+    }
+}

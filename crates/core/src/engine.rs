@@ -1,0 +1,709 @@
+//! The Check-N-Run engine: training loop, interval scheduling, budgets,
+//! non-overlap, checkpointing, and failure recovery (§4).
+//!
+//! One [`Engine`] drives one training job end to end:
+//!
+//! 1. each interval, extend the reader budget by exactly
+//!    `interval_batches` (§4.1 gap avoidance);
+//! 2. train; the tracker marks modified rows (§5.1.1);
+//! 3. at the interval boundary: wait out any still-writing checkpoint
+//!    (§4.3 non-overlap), collect the drained reader state, ask the policy
+//!    for full-vs-incremental, stall-and-snapshot (§4.2), and hand the
+//!    snapshot to the background writer pipeline (§4.4);
+//! 4. when the write is durable, register it with the controller, which
+//!    applies retention (§4.4);
+//! 5. on failure ([`Engine::simulate_failure_and_restore`]): restore the
+//!    newest chain, re-seed the tracker, rebuild the reader at the stored
+//!    position, and count the restore against the bit-width budget
+//!    (§6.2.1 fallback).
+
+use crate::bitwidth::BitwidthSelector;
+use crate::config::{CheckpointConfig, PolicyKind, QuantMode};
+use crate::controller::CheckpointController;
+use crate::error::{CnrError, Result};
+use crate::manifest::{CheckpointId, CheckpointKind};
+use crate::policy::PolicyEngine;
+use crate::restore::{self, RestoreReport};
+use crate::snapshot::SnapshotTaker;
+use crate::stats::{IntervalStats, RunStats};
+use crate::writer::{CheckpointRecord, CheckpointWriter};
+use cnr_cluster::{FailureModel, SimClock};
+use cnr_model::{DlrmModel, ModelConfig, ShardPlan};
+use cnr_quant::QuantScheme;
+use cnr_reader::{ReaderConfig, ReaderMaster};
+use cnr_storage::{ObjectStore, RemoteConfig, SimulatedRemoteStore};
+use cnr_trainer::{evaluate, EvalReport, Trainer, TrainerConfig};
+use cnr_workload::{DatasetSpec, SyntheticDataset};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Builder for [`Engine`].
+pub struct EngineBuilder {
+    spec: DatasetSpec,
+    model_cfg: ModelConfig,
+    ckpt: CheckpointConfig,
+    remote: RemoteConfig,
+    reader_cfg: ReaderConfig,
+    trainer_cfg: TrainerConfig,
+    job: String,
+    nodes: u32,
+    gpus_per_node: u32,
+}
+
+impl EngineBuilder {
+    /// Starts a builder from a dataset spec and model config.
+    pub fn new(spec: DatasetSpec, model_cfg: ModelConfig) -> Self {
+        Self {
+            spec,
+            model_cfg,
+            ckpt: CheckpointConfig::default(),
+            remote: RemoteConfig::default(),
+            reader_cfg: ReaderConfig::default(),
+            trainer_cfg: TrainerConfig::default(),
+            job: "job".to_string(),
+            nodes: 1,
+            gpus_per_node: 8,
+        }
+    }
+
+    /// Sets the checkpoint interval in batches.
+    pub fn checkpoint_every_batches(mut self, n: u64) -> Self {
+        self.ckpt.interval_batches = n;
+        self
+    }
+
+    /// Sets the incremental policy.
+    pub fn policy(mut self, p: PolicyKind) -> Self {
+        self.ckpt.policy = p;
+        self
+    }
+
+    /// Sets the quantization mode.
+    pub fn quantization(mut self, q: QuantMode) -> Self {
+        self.ckpt.quant = q;
+        self
+    }
+
+    /// Replaces the whole checkpoint config.
+    pub fn checkpoint_config(mut self, c: CheckpointConfig) -> Self {
+        self.ckpt = c;
+        self
+    }
+
+    /// Configures the simulated remote store.
+    pub fn remote_config(mut self, r: RemoteConfig) -> Self {
+        self.remote = r;
+        self
+    }
+
+    /// Configures the reader tier.
+    pub fn reader_config(mut self, r: ReaderConfig) -> Self {
+        self.reader_cfg = r;
+        self
+    }
+
+    /// Configures the trainer.
+    pub fn trainer_config(mut self, t: TrainerConfig) -> Self {
+        self.trainer_cfg = t;
+        self
+    }
+
+    /// Names the job (prefix of all storage keys).
+    pub fn job_name(mut self, name: impl Into<String>) -> Self {
+        self.job = name.into();
+        self
+    }
+
+    /// Sets the simulated cluster shape for sharding and snapshot stalls.
+    pub fn cluster_shape(mut self, nodes: u32, gpus_per_node: u32) -> Self {
+        self.nodes = nodes;
+        self.gpus_per_node = gpus_per_node;
+        self
+    }
+
+    /// Builds the engine.
+    pub fn build(self) -> Result<Engine> {
+        self.ckpt.validate().map_err(CnrError::Config)?;
+        self.model_cfg.validate().map_err(CnrError::Config)?;
+        if self.model_cfg.tables.len() != self.spec.tables.len() {
+            return Err(CnrError::Config(
+                "model tables do not match dataset sparse features".into(),
+            ));
+        }
+
+        let clock = SimClock::new();
+        let store = Arc::new(SimulatedRemoteStore::new(self.remote, clock.clone()));
+        let dataset = SyntheticDataset::new(self.spec);
+        let reader = ReaderMaster::new(dataset.clone(), self.reader_cfg);
+        let model = DlrmModel::new(self.model_cfg.clone());
+        let full_reference_bytes = model.state_bytes() as u64;
+        let trainer = Trainer::new(model, clock.clone(), self.trainer_cfg);
+        let shard_plan = ShardPlan::balanced(&self.model_cfg, self.nodes, self.gpus_per_node);
+        let expected_restores = match self.ckpt.quant {
+            QuantMode::Dynamic { expected_restores } => expected_restores,
+            _ => 0,
+        };
+        let controller = CheckpointController::new(
+            store.clone() as Arc<dyn ObjectStore>,
+            self.job.clone(),
+            self.ckpt.retained_chains,
+        );
+        Ok(Engine {
+            dataset,
+            reader,
+            trainer,
+            taker: SnapshotTaker::new(shard_plan),
+            policy: PolicyEngine::new(self.ckpt.policy),
+            bitwidth: BitwidthSelector::new(expected_restores),
+            controller,
+            store,
+            clock,
+            config: self.ckpt,
+            job: self.job,
+            reader_cfg: self.reader_cfg,
+            next_ckpt_id: 0,
+            current_baseline: None,
+            last_full_payload: None,
+            stats: RunStats::new(full_reference_bytes),
+            batches_into_interval: 0,
+            restores: 0,
+        })
+    }
+}
+
+/// Outcome of [`Engine::train_with_failures`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FailureRunReport {
+    /// Failures injected.
+    pub failures: u32,
+    /// Batches whose work was lost and re-trained.
+    pub wasted_batches: u64,
+    /// Total batches executed, including re-training (≥ target).
+    pub wall_batches: u64,
+}
+
+/// The running engine.
+pub struct Engine {
+    dataset: SyntheticDataset,
+    reader: ReaderMaster,
+    trainer: Trainer,
+    taker: SnapshotTaker,
+    policy: PolicyEngine,
+    bitwidth: BitwidthSelector,
+    controller: CheckpointController,
+    store: Arc<SimulatedRemoteStore>,
+    clock: SimClock,
+    config: CheckpointConfig,
+    job: String,
+    reader_cfg: ReaderConfig,
+    next_ckpt_id: u64,
+    /// The most recent full baseline (delta base for one-shot/intermittent).
+    current_baseline: Option<CheckpointId>,
+    /// Payload bytes of the most recent full checkpoint — the `S₀ = 1`
+    /// normalizer of the intermittent predictor.
+    last_full_payload: Option<u64>,
+    stats: RunStats,
+    batches_into_interval: u64,
+    restores: u32,
+}
+
+impl Engine {
+    /// Trains `n` batches, checkpointing at each interval boundary.
+    pub fn train_batches(&mut self, n: u64) -> Result<()> {
+        let mut remaining = n;
+        while remaining > 0 {
+            let until_ckpt = self.config.interval_batches - self.batches_into_interval;
+            let run = until_ckpt.min(remaining);
+            self.reader.extend_budget(run);
+            for _ in 0..run {
+                let batch = self.reader.next_batch();
+                self.trainer.train_one(&batch);
+            }
+            self.batches_into_interval += run;
+            remaining -= run;
+            if self.batches_into_interval == self.config.interval_batches {
+                self.checkpoint_now()?;
+                self.batches_into_interval = 0;
+            }
+        }
+        Ok(())
+    }
+
+    /// Takes a checkpoint immediately (normally called at interval
+    /// boundaries by [`Engine::train_batches`]).
+    pub fn checkpoint_now(&mut self) -> Result<CheckpointRecord> {
+        // §4.3: the previous checkpoint must be fully written (or cancelled)
+        // before a new one starts; waiting also models "the current
+        // checkpoint can utilize all available resources".
+        self.store.wait_for_drain();
+
+        let reader_state = self.reader.collect_state();
+        let decision = self.policy.decide();
+        let scheme = self.current_scheme();
+        let snapshot = self
+            .taker
+            .take(&mut self.trainer, reader_state, decision, &self.config);
+
+        let id = CheckpointId(self.next_ckpt_id);
+        self.next_ckpt_id += 1;
+        let base = match decision.kind {
+            CheckpointKind::Full => None,
+            CheckpointKind::Incremental => match self.policy.kind() {
+                PolicyKind::Consecutive => self.controller.latest(),
+                _ => self.current_baseline,
+            },
+        };
+        if decision.kind == CheckpointKind::Incremental && base.is_none() {
+            return Err(CnrError::Config(
+                "incremental checkpoint without a baseline".into(),
+            ));
+        }
+
+        let writer = CheckpointWriter::new(self.store.as_ref(), &self.job);
+        let record = writer.write(&snapshot, id, base, scheme, &self.config)?;
+
+        // Feed the intermittent predictor with the size as a fraction of the
+        // last full checkpoint in the same encoding.
+        let fraction_of_full = match decision.kind {
+            CheckpointKind::Full => {
+                self.last_full_payload = Some(record.manifest.payload_bytes.max(1));
+                self.current_baseline = Some(id);
+                1.0
+            }
+            CheckpointKind::Incremental => {
+                let full = self
+                    .last_full_payload
+                    .unwrap_or(self.stats.full_reference_bytes.max(1));
+                record.manifest.payload_bytes as f64 / full as f64
+            }
+        };
+        self.policy.record(decision.kind, fraction_of_full);
+
+        self.controller
+            .register(&record.manifest, &record.manifest_key)?;
+
+        let full_ref = self.stats.full_reference_bytes.max(1) as f64;
+        let interval = self.stats.intervals.len() as u32;
+        self.stats.push(IntervalStats {
+            interval,
+            checkpoint: id,
+            kind: decision.kind,
+            stored_bytes: record.stored_bytes,
+            stored_fraction: record.stored_bytes as f64 / full_ref,
+            capacity_bytes: self.controller.live_bytes(),
+            capacity_fraction: self.controller.live_bytes() as f64 / full_ref,
+            write_latency: record.write_latency,
+            stall: snapshot.stall,
+            quantize_cpu_time: record.quantize_cpu_time,
+        });
+        Ok(record)
+    }
+
+    /// Simulates a failure: discards live training state and restores from
+    /// the newest valid checkpoint. Returns the restore report.
+    pub fn simulate_failure_and_restore(&mut self) -> Result<RestoreReport> {
+        let latest = self.controller.latest().ok_or(CnrError::NothingToRestore)?;
+        let model_cfg: ModelConfig = self.trainer.model().config().clone();
+        let report = restore::restore(self.store.as_ref(), &self.job, latest, &model_cfg)?;
+
+        // Rebuild trainer-side state.
+        report.state.restore(self.trainer.model_mut());
+        self.trainer.tracker().reset();
+        match self.policy.kind() {
+            PolicyKind::OneShot | PolicyKind::Intermittent => {
+                // Re-seed "modified since baseline" so future one-shot
+                // incrementals stay supersets of the restored delta.
+                for (t, mask) in report.incremental_rows.tables.iter().enumerate() {
+                    for row in mask.iter_ones() {
+                        self.trainer.tracker().mark(t, row);
+                    }
+                }
+            }
+            PolicyKind::Consecutive | PolicyKind::FullOnly => {}
+        }
+
+        // Rebuild the reader tier at the stored position.
+        self.reader = ReaderMaster::from_state(self.dataset.clone(), report.reader, self.reader_cfg);
+        self.batches_into_interval = 0;
+
+        // Charge the restore read time to the clock.
+        self.clock.advance(self.store.transfer_time(report.bytes_read));
+
+        // Count against the quantization budget (§6.2.1 fallback).
+        self.bitwidth.on_restore();
+        self.restores += 1;
+        Ok(report)
+    }
+
+    /// Trains until the model has completed `target_iterations` batches,
+    /// with failures sampled from `failure_model` (in simulated time,
+    /// converted at `batch_duration` per batch). Each failure restores from
+    /// the newest checkpoint — or restarts from scratch when none exists
+    /// yet, like a real job would. `max_failures` bounds the injection so a
+    /// pathological model cannot loop forever.
+    pub fn train_with_failures(
+        &mut self,
+        target_iterations: u64,
+        failure_model: &FailureModel,
+        batch_duration: Duration,
+        seed: u64,
+        max_failures: u32,
+    ) -> Result<FailureRunReport> {
+        assert!(!batch_duration.is_zero(), "batch_duration must be positive");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut report = FailureRunReport::default();
+        loop {
+            let done = self.trainer.model().iteration();
+            if done >= target_iterations {
+                break;
+            }
+            let remaining = target_iterations - done;
+            let failure_in = if report.failures < max_failures {
+                failure_model.sample(&mut rng).map(|s| {
+                    (s.time_to_failure.as_secs_f64() / batch_duration.as_secs_f64()).ceil()
+                        as u64
+                })
+            } else {
+                None
+            };
+            match failure_in {
+                Some(b) if b < remaining => {
+                    self.train_batches(b.max(1))?;
+                    report.wall_batches += b.max(1);
+                    let before = self.trainer.model().iteration();
+                    match self.simulate_failure_and_restore() {
+                        Ok(_) => {
+                            report.wasted_batches +=
+                                before - self.trainer.model().iteration();
+                        }
+                        Err(CnrError::NothingToRestore) => {
+                            // Failure before the first checkpoint: restart
+                            // from scratch (deterministic init).
+                            report.wasted_batches += before;
+                            self.restart_from_scratch();
+                        }
+                        Err(e) => return Err(e),
+                    }
+                    report.failures += 1;
+                }
+                _ => {
+                    self.train_batches(remaining)?;
+                    report.wall_batches += remaining;
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    /// Rebuilds trainer, tracker, and reader to the initial state (used when
+    /// a job fails before its first checkpoint exists).
+    fn restart_from_scratch(&mut self) {
+        let cfg = self.trainer.model().config().clone();
+        *self.trainer.model_mut() = DlrmModel::new(cfg);
+        self.trainer.tracker().reset();
+        self.reader = ReaderMaster::new(self.dataset.clone(), self.reader_cfg);
+        self.batches_into_interval = 0;
+    }
+
+    /// The quantization scheme the next checkpoint will use.
+    pub fn current_scheme(&self) -> QuantScheme {
+        match self.config.quant {
+            QuantMode::None => QuantScheme::Fp32,
+            QuantMode::Fixed(s) => s,
+            QuantMode::Dynamic { .. } => self.bitwidth.scheme(),
+        }
+    }
+
+    /// Evaluates the current model on held-out batches `[from, to)`.
+    pub fn evaluate(&self, from: u64, to: u64) -> EvalReport {
+        evaluate(self.trainer.model(), &self.dataset, from, to)
+    }
+
+    /// Run statistics so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// The trainer.
+    pub fn trainer(&self) -> &Trainer {
+        &self.trainer
+    }
+
+    /// Mutable trainer access (advanced integrations and tests; normal
+    /// training goes through [`Engine::train_batches`]).
+    pub fn trainer_mut(&mut self) -> &mut Trainer {
+        &mut self.trainer
+    }
+
+    /// The checkpoint controller.
+    pub fn controller(&self) -> &CheckpointController {
+        &self.controller
+    }
+
+    /// The simulated remote store.
+    pub fn store(&self) -> &Arc<SimulatedRemoteStore> {
+        &self.store
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// The dataset.
+    pub fn dataset(&self) -> &SyntheticDataset {
+        &self.dataset
+    }
+
+    /// The policy engine.
+    pub fn policy(&self) -> &PolicyEngine {
+        &self.policy
+    }
+
+    /// The bit-width selector.
+    pub fn bitwidth(&self) -> &BitwidthSelector {
+        &self.bitwidth
+    }
+
+    /// Restores performed so far.
+    pub fn restores(&self) -> u32 {
+        self.restores
+    }
+
+    /// The engine's checkpoint configuration.
+    pub fn config(&self) -> &CheckpointConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn builder() -> EngineBuilder {
+        let spec = DatasetSpec::tiny(101);
+        let model_cfg = ModelConfig::for_dataset(&spec, 8);
+        EngineBuilder::new(spec, model_cfg)
+            .checkpoint_every_batches(5)
+            .cluster_shape(1, 2)
+    }
+
+    #[test]
+    fn trains_and_checkpoints_at_intervals() {
+        let mut e = builder().build().unwrap();
+        e.train_batches(20).unwrap();
+        assert_eq!(e.trainer().trained_batches(), 20);
+        // 20 batches at interval 5 = 4 checkpoints.
+        assert_eq!(e.stats().intervals.len(), 4);
+        assert_eq!(e.stats().intervals[0].kind, CheckpointKind::Full);
+    }
+
+    #[test]
+    fn partial_interval_takes_no_checkpoint() {
+        let mut e = builder().build().unwrap();
+        e.train_batches(7).unwrap();
+        assert_eq!(e.stats().intervals.len(), 1, "only the 5-batch boundary");
+        e.train_batches(3).unwrap();
+        assert_eq!(e.stats().intervals.len(), 2, "7+3 completes interval 2");
+    }
+
+    #[test]
+    fn one_shot_policy_produces_full_then_incrementals() {
+        let mut e = builder().policy(PolicyKind::OneShot).build().unwrap();
+        e.train_batches(20).unwrap();
+        let kinds: Vec<CheckpointKind> =
+            e.stats().intervals.iter().map(|i| i.kind).collect();
+        assert_eq!(kinds[0], CheckpointKind::Full);
+        assert!(kinds[1..]
+            .iter()
+            .all(|k| *k == CheckpointKind::Incremental));
+        // Incrementals are smaller than the baseline.
+        assert!(e.stats().intervals[1].stored_bytes < e.stats().intervals[0].stored_bytes);
+    }
+
+    #[test]
+    fn restore_resumes_identical_training() {
+        // Engine A: train 10, checkpoint at 5 and 10, fail, restore, train 5.
+        // Engine B: train 15 without failure. Identical batches => identical
+        // final state (fp32 checkpoints are bit-exact).
+        let mut a = builder().build().unwrap();
+        a.train_batches(10).unwrap();
+        let hash_at_10 = a.trainer().model().state_hash();
+        a.train_batches(3).unwrap(); // progress past the checkpoint...
+        let report = a.simulate_failure_and_restore().unwrap(); // ...and lose it
+        assert_eq!(report.state.iteration, 10);
+        assert_eq!(a.trainer().model().state_hash(), hash_at_10);
+        a.train_batches(5).unwrap();
+
+        let mut b = builder().build().unwrap();
+        b.train_batches(15).unwrap();
+        assert_eq!(
+            a.trainer().model().state_hash(),
+            b.trainer().model().state_hash(),
+            "restored run must be indistinguishable"
+        );
+    }
+
+    #[test]
+    fn restore_without_checkpoint_errors() {
+        let mut e = builder().build().unwrap();
+        assert!(matches!(
+            e.simulate_failure_and_restore(),
+            Err(CnrError::NothingToRestore)
+        ));
+    }
+
+    #[test]
+    fn quantized_run_reduces_stored_bytes() {
+        // Dim 32 and tables large enough that the FP32 MLP stored inline in
+        // the manifest does not mask the embedding payload reduction (in
+        // production models embeddings are >99% of bytes, §2.1).
+        let spec = cnr_workload::DatasetSpec {
+            seed: 101,
+            batch_size: 8,
+            dense_dim: 4,
+            tables: vec![
+                cnr_workload::TableAccessSpec::new(8000, 2, 1.05),
+                cnr_workload::TableAccessSpec::new(4000, 1, 0.9),
+            ],
+            concept_seed: None,
+        };
+        let wide = |q: QuantMode| {
+            EngineBuilder::new(spec.clone(), ModelConfig::for_dataset(&spec, 32))
+                .checkpoint_every_batches(5)
+                .cluster_shape(1, 2)
+                .quantization(q)
+                .build()
+                .unwrap()
+        };
+        let mut fp32 = wide(QuantMode::None);
+        fp32.train_batches(10).unwrap();
+        let mut q4 = wide(QuantMode::Fixed(QuantScheme::Asymmetric { bits: 4 }));
+        q4.train_batches(10).unwrap();
+        let f = fp32.stats().intervals[0].stored_bytes;
+        let q = q4.stats().intervals[0].stored_bytes;
+        assert!(q * 3 < f, "4-bit full ckpt should be >3x smaller: {f} vs {q}");
+    }
+
+    #[test]
+    fn dynamic_bitwidth_follows_restores() {
+        let mut e = builder()
+            .quantization(QuantMode::Dynamic {
+                expected_restores: 1,
+            })
+            .build()
+            .unwrap();
+        assert_eq!(e.current_scheme().bits(), 2);
+        e.train_batches(5).unwrap();
+        e.simulate_failure_and_restore().unwrap();
+        assert_eq!(e.current_scheme().bits(), 2, "within budget");
+        e.simulate_failure_and_restore().unwrap();
+        assert_eq!(e.current_scheme().bits(), 3, "fallback after excess restore");
+    }
+
+    #[test]
+    fn intermittent_policy_rebaselines_eventually() {
+        // Tiny tables + long run: deltas grow toward full size, so the
+        // predictor must re-baseline at some point.
+        let mut e = builder().policy(PolicyKind::Intermittent).build().unwrap();
+        e.train_batches(100).unwrap();
+        let kinds: Vec<CheckpointKind> =
+            e.stats().intervals.iter().map(|i| i.kind).collect();
+        let fulls = kinds.iter().filter(|k| **k == CheckpointKind::Full).count();
+        assert!(
+            fulls >= 2,
+            "expected a re-baseline in 20 intervals, kinds: {kinds:?}"
+        );
+    }
+
+    #[test]
+    fn stall_fraction_is_small() {
+        // Interval length matters: the paper's <0.4% holds for 30-minute
+        // intervals; proportionally, 50 batches per interval on the tiny
+        // model keeps the simulated stall far below the bound.
+        let spec = DatasetSpec::tiny(101);
+        let mut e = EngineBuilder::new(spec.clone(), ModelConfig::for_dataset(&spec, 8))
+            .checkpoint_every_batches(50)
+            .cluster_shape(1, 2)
+            .build()
+            .unwrap();
+        e.train_batches(100).unwrap();
+        assert!(e.trainer().stall_fraction() < 0.004);
+    }
+
+    #[test]
+    fn train_with_failures_reaches_target() {
+        let mut e = builder().build().unwrap();
+        let report = e
+            .train_with_failures(
+                60,
+                &FailureModel::Exponential {
+                    mtbf: Duration::from_secs(20),
+                },
+                Duration::from_secs(2), // ~10 batches between failures
+                7,
+                100,
+            )
+            .unwrap();
+        assert!(e.trainer().model().iteration() >= 60);
+        assert!(
+            report.failures > 0,
+            "10-batch MTBF over 60 batches of work must fail"
+        );
+        assert_eq!(
+            report.wall_batches,
+            60 + report.wasted_batches,
+            "wall = useful + wasted"
+        );
+        // Wasted work per failure is bounded by one interval plus the
+        // current partial interval's progress.
+        assert!(report.wasted_batches <= report.failures as u64 * 2 * 5);
+    }
+
+    #[test]
+    fn failure_before_first_checkpoint_restarts_from_scratch() {
+        let mut e = builder().build().unwrap();
+        // Fail at every batch until max_failures: the first failures land
+        // before the first checkpoint (interval = 5).
+        let report = e
+            .train_with_failures(
+                12,
+                &FailureModel::Exponential {
+                    mtbf: Duration::from_millis(10),
+                },
+                Duration::from_secs(1),
+                3,
+                4,
+            )
+            .unwrap();
+        assert_eq!(report.failures, 4);
+        assert!(e.trainer().model().iteration() >= 12);
+        // Scratch restarts waste everything trained before them.
+        assert!(report.wasted_batches > 0);
+    }
+
+    #[test]
+    fn train_with_failures_none_model_is_plain_training() {
+        let mut e = builder().build().unwrap();
+        let report = e
+            .train_with_failures(25, &FailureModel::None, Duration::from_secs(1), 1, 10)
+            .unwrap();
+        assert_eq!(report.failures, 0);
+        assert_eq!(report.wasted_batches, 0);
+        assert_eq!(report.wall_batches, 25);
+    }
+
+    #[test]
+    fn capacity_tracks_live_checkpoints() {
+        let mut e = builder().policy(PolicyKind::Consecutive).build().unwrap();
+        e.train_batches(20).unwrap();
+        let caps: Vec<u64> = e.stats().intervals.iter().map(|i| i.capacity_bytes).collect();
+        // Consecutive retention never deletes: capacity must be increasing.
+        for w in caps.windows(2) {
+            assert!(w[1] > w[0], "consecutive capacity must grow: {caps:?}");
+        }
+        assert_eq!(e.store().total_bytes(), *caps.last().unwrap());
+    }
+}

@@ -1,0 +1,529 @@
+//! Checkpoint manifests and chunk payloads.
+//!
+//! A checkpoint is a **manifest** object plus N **chunk** objects in the
+//! store. The manifest is self-describing: identity, kind (full or
+//! incremental), the base pointer for chain restoration, quantization
+//! scheme, model geometry, the (tiny) MLP parameters inline, the reader
+//! state, and the list of chunk keys with checksums. Chunks carry batches of
+//! embedding rows: indices, optional optimizer state, and quantized
+//! payloads. Everything is checksummed (see [`crate::wire`]).
+
+use crate::error::{CnrError, Result};
+use crate::wire;
+use bytes::BufMut;
+use cnr_quant::{QuantScheme, QuantizedRow};
+use cnr_reader::ReaderState;
+use serde::{Deserialize, Serialize};
+
+/// Monotonically increasing checkpoint identity within a job.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CheckpointId(pub u64);
+
+impl std::fmt::Display for CheckpointId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "ckpt-{:08}", self.0)
+    }
+}
+
+/// Full baseline or incremental delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum CheckpointKind {
+    /// Contains every embedding row.
+    Full,
+    /// Contains only rows modified relative to `base`.
+    Incremental,
+}
+
+/// Geometry of one embedding table as stored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TableMeta {
+    /// Row count.
+    pub rows: u64,
+    /// Embedding dimension.
+    pub dim: u16,
+    /// Whether rows carry a row-wise optimizer accumulator.
+    pub has_optimizer_state: bool,
+}
+
+/// One stored chunk.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ChunkMeta {
+    /// Object key in the store.
+    pub key: String,
+    /// Embedding rows in the chunk.
+    pub rows: u32,
+    /// Serialized size in bytes.
+    pub bytes: u64,
+}
+
+/// The checkpoint manifest.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Checkpoint identity.
+    pub id: CheckpointId,
+    /// Full or incremental.
+    pub kind: CheckpointKind,
+    /// Checkpoint this delta applies on top of (`None` for full).
+    pub base: Option<CheckpointId>,
+    /// Trainer iteration at snapshot time.
+    pub iteration: u64,
+    /// Reader position at snapshot time (§4.1: gap-free by construction).
+    pub reader_state: ReaderState,
+    /// Quantization scheme of the chunk payloads.
+    pub scheme: QuantScheme,
+    /// Table geometry, index-aligned with the model.
+    pub tables: Vec<TableMeta>,
+    /// Flattened bottom-MLP parameters (FP32; MLPs are <1% of bytes).
+    pub bottom_mlp: Vec<f32>,
+    /// Flattened top-MLP parameters.
+    pub top_mlp: Vec<f32>,
+    /// Stored chunks in application order.
+    pub chunks: Vec<ChunkMeta>,
+    /// Total chunk payload bytes.
+    pub payload_bytes: u64,
+}
+
+const MAGIC: u32 = 0x434E_524D; // "CNRM"
+const VERSION: u16 = 1;
+
+impl Manifest {
+    /// Storage key for a manifest of checkpoint `id` under `job`.
+    pub fn key(job: &str, id: CheckpointId) -> String {
+        format!("{job}/{id}/manifest")
+    }
+
+    /// Storage key for chunk `seq` of checkpoint `id` under `job`.
+    pub fn chunk_key(job: &str, id: CheckpointId, seq: u32) -> String {
+        format!("{job}/{id}/chunk-{seq:06}")
+    }
+
+    /// Serializes the manifest (framed + checksummed).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut body = Vec::new();
+        body.put_u64_le(self.id.0);
+        body.put_u8(match self.kind {
+            CheckpointKind::Full => 0,
+            CheckpointKind::Incremental => 1,
+        });
+        body.put_u64_le(self.base.map(|b| b.0).unwrap_or(u64::MAX));
+        body.put_u64_le(self.iteration);
+        body.put_u64_le(self.reader_state.next_batch);
+        encode_scheme(&mut body, &self.scheme);
+        body.put_u16_le(self.tables.len() as u16);
+        for t in &self.tables {
+            body.put_u64_le(t.rows);
+            body.put_u16_le(t.dim);
+            body.put_u8(t.has_optimizer_state as u8);
+        }
+        wire::put_f32s(&mut body, &self.bottom_mlp);
+        wire::put_f32s(&mut body, &self.top_mlp);
+        body.put_u32_le(self.chunks.len() as u32);
+        for c in &self.chunks {
+            wire::put_string(&mut body, &c.key);
+            body.put_u32_le(c.rows);
+            body.put_u64_le(c.bytes);
+        }
+        body.put_u64_le(self.payload_bytes);
+
+        let mut out = Vec::with_capacity(body.len() + 32);
+        out.put_u32_le(MAGIC);
+        out.put_u16_le(VERSION);
+        wire::put_framed(&mut out, &body);
+        out
+    }
+
+    /// Parses and verifies a serialized manifest.
+    pub fn decode(mut data: &[u8]) -> Result<Self> {
+        let buf = &mut data;
+        let magic = wire::get_u32(buf)?;
+        if magic != MAGIC {
+            return Err(CnrError::Corrupt(format!("bad manifest magic {magic:#x}")));
+        }
+        let version = wire::get_u16(buf)?;
+        if version != VERSION {
+            return Err(CnrError::Corrupt(format!(
+                "unsupported manifest version {version}"
+            )));
+        }
+        let body = wire::get_framed(buf)?;
+        let mut slice = body.as_slice();
+        let b = &mut slice;
+
+        let id = CheckpointId(wire::get_u64(b)?);
+        let kind = match wire::get_u8(b)? {
+            0 => CheckpointKind::Full,
+            1 => CheckpointKind::Incremental,
+            k => return Err(CnrError::Corrupt(format!("bad checkpoint kind {k}"))),
+        };
+        let base_raw = wire::get_u64(b)?;
+        let base = (base_raw != u64::MAX).then_some(CheckpointId(base_raw));
+        let iteration = wire::get_u64(b)?;
+        let reader_state = ReaderState::at(wire::get_u64(b)?);
+        let scheme = decode_scheme(b)?;
+        let table_count = wire::get_u16(b)? as usize;
+        let mut tables = Vec::with_capacity(table_count);
+        for _ in 0..table_count {
+            tables.push(TableMeta {
+                rows: wire::get_u64(b)?,
+                dim: wire::get_u16(b)?,
+                has_optimizer_state: wire::get_u8(b)? != 0,
+            });
+        }
+        let bottom_mlp = wire::get_f32s(b)?;
+        let top_mlp = wire::get_f32s(b)?;
+        let chunk_count = wire::get_u32(b)? as usize;
+        let mut chunks = Vec::with_capacity(chunk_count);
+        for _ in 0..chunk_count {
+            chunks.push(ChunkMeta {
+                key: wire::get_string(b)?,
+                rows: wire::get_u32(b)?,
+                bytes: wire::get_u64(b)?,
+            });
+        }
+        let payload_bytes = wire::get_u64(b)?;
+
+        Ok(Self {
+            id,
+            kind,
+            base,
+            iteration,
+            reader_state,
+            scheme,
+            tables,
+            bottom_mlp,
+            top_mlp,
+            chunks,
+            payload_bytes,
+        })
+    }
+
+    /// Total bytes of this checkpoint as stored (manifest + chunks).
+    pub fn total_bytes(&self) -> u64 {
+        self.payload_bytes + self.encode().len() as u64
+    }
+}
+
+/// One chunk of embedding rows as stored.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkPayload {
+    /// Which table the rows belong to.
+    pub table: u16,
+    /// Row indices within the table, ascending.
+    pub row_indices: Vec<u32>,
+    /// Row-wise optimizer accumulators (present iff the table has them).
+    pub optimizer_state: Option<Vec<f32>>,
+    /// Quantized row payloads, index-aligned with `row_indices`.
+    pub rows: Vec<QuantizedRow>,
+}
+
+impl ChunkPayload {
+    /// Serializes the chunk (framed + checksummed).
+    ///
+    /// The per-row fixed header (kind/bits/dim) is hoisted to chunk level —
+    /// every row of a chunk shares one scheme and one table geometry, and at
+    /// 2-bit/dim-64 a redundant 4-byte per-row header would cost ~14% of
+    /// the chunk (the §6.3.2 "metadata structure" the paper flags for
+    /// optimization).
+    pub fn encode(&self) -> Vec<u8> {
+        debug_assert_eq!(self.rows.len(), self.row_indices.len());
+        if let Some(acc) = &self.optimizer_state {
+            debug_assert_eq!(acc.len(), self.row_indices.len());
+        }
+        let mut body = Vec::new();
+        body.put_u16_le(self.table);
+        body.put_u32_le(self.row_indices.len() as u32);
+        body.put_u8(self.optimizer_state.is_some() as u8);
+        // Chunk-level row context: all rows share kind/bits/dim.
+        let (tag, bits, dim) = match self.rows.first() {
+            Some(r) => (r.kind_tag(), r.bits, r.dim as u16),
+            None => (0, 32, 0),
+        };
+        debug_assert!(
+            self.rows
+                .iter()
+                .all(|r| r.kind_tag() == tag && r.bits == bits && r.dim as u16 == dim),
+            "chunk mixes row encodings"
+        );
+        body.put_u8(tag);
+        body.put_u8(bits);
+        body.put_u16_le(dim);
+        for &i in &self.row_indices {
+            body.put_u32_le(i);
+        }
+        if let Some(acc) = &self.optimizer_state {
+            for &a in acc {
+                body.put_f32_le(a);
+            }
+        }
+        for row in &self.rows {
+            row.encode_body_into(&mut body);
+        }
+        let mut out = Vec::with_capacity(body.len() + 16);
+        wire::put_framed(&mut out, &body);
+        out
+    }
+
+    /// Parses and verifies a serialized chunk.
+    pub fn decode(mut data: &[u8]) -> Result<Self> {
+        let body = wire::get_framed(&mut data)?;
+        let mut slice = body.as_slice();
+        let b = &mut slice;
+        let table = wire::get_u16(b)?;
+        let count = wire::get_u32(b)? as usize;
+        let has_acc = wire::get_u8(b)? != 0;
+        let tag = wire::get_u8(b)?;
+        let bits = wire::get_u8(b)?;
+        let dim = wire::get_u16(b)? as usize;
+        let mut row_indices = Vec::with_capacity(count);
+        for _ in 0..count {
+            row_indices.push(wire::get_u32(b)?);
+        }
+        let optimizer_state = if has_acc {
+            let mut acc = Vec::with_capacity(count);
+            for _ in 0..count {
+                if b.len() < 4 {
+                    return Err(CnrError::Corrupt("chunk optimizer state truncated".into()));
+                }
+                let mut bytes = [0u8; 4];
+                bytes.copy_from_slice(&b[..4]);
+                *b = &b[4..];
+                acc.push(f32::from_le_bytes(bytes));
+            }
+            Some(acc)
+        } else {
+            None
+        };
+        let mut rows = Vec::with_capacity(count);
+        for _ in 0..count {
+            rows.push(QuantizedRow::decode_body_from(b, tag, bits, dim)?);
+        }
+        Ok(Self {
+            table,
+            row_indices,
+            optimizer_state,
+            rows,
+        })
+    }
+}
+
+/// Serializes a [`QuantScheme`] (tag + parameters).
+fn encode_scheme(buf: &mut Vec<u8>, scheme: &QuantScheme) {
+    match *scheme {
+        QuantScheme::Fp32 => buf.put_u8(0),
+        QuantScheme::Fp16 => buf.put_u8(5),
+        QuantScheme::Symmetric { bits } => {
+            buf.put_u8(1);
+            buf.put_u8(bits);
+        }
+        QuantScheme::Asymmetric { bits } => {
+            buf.put_u8(2);
+            buf.put_u8(bits);
+        }
+        QuantScheme::KMeans { bits } => {
+            buf.put_u8(3);
+            buf.put_u8(bits);
+        }
+        QuantScheme::AdaptiveAsymmetric {
+            bits,
+            num_bins,
+            ratio,
+        } => {
+            buf.put_u8(4);
+            buf.put_u8(bits);
+            buf.put_u32_le(num_bins);
+            buf.put_f64_le(ratio);
+        }
+    }
+}
+
+/// Parses a [`QuantScheme`].
+fn decode_scheme(b: &mut &[u8]) -> Result<QuantScheme> {
+    Ok(match wire::get_u8(b)? {
+        0 => QuantScheme::Fp32,
+        1 => QuantScheme::Symmetric {
+            bits: wire::get_u8(b)?,
+        },
+        2 => QuantScheme::Asymmetric {
+            bits: wire::get_u8(b)?,
+        },
+        3 => QuantScheme::KMeans {
+            bits: wire::get_u8(b)?,
+        },
+        4 => QuantScheme::AdaptiveAsymmetric {
+            bits: wire::get_u8(b)?,
+            num_bins: wire::get_u32(b)?,
+            ratio: wire::get_f64(b)?,
+        },
+        5 => QuantScheme::Fp16,
+        t => return Err(CnrError::Corrupt(format!("bad scheme tag {t}"))),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_manifest() -> Manifest {
+        Manifest {
+            id: CheckpointId(42),
+            kind: CheckpointKind::Incremental,
+            base: Some(CheckpointId(40)),
+            iteration: 123_456,
+            reader_state: ReaderState::at(123_456),
+            scheme: QuantScheme::AdaptiveAsymmetric {
+                bits: 4,
+                num_bins: 45,
+                ratio: 1.0,
+            },
+            tables: vec![
+                TableMeta {
+                    rows: 1000,
+                    dim: 16,
+                    has_optimizer_state: false,
+                },
+                TableMeta {
+                    rows: 500,
+                    dim: 16,
+                    has_optimizer_state: false,
+                },
+            ],
+            bottom_mlp: vec![0.5, -0.25, 0.125],
+            top_mlp: vec![1.0, 2.0],
+            chunks: vec![
+                ChunkMeta {
+                    key: "job/ckpt-00000042/chunk-000000".into(),
+                    rows: 4096,
+                    bytes: 65536,
+                },
+                ChunkMeta {
+                    key: "job/ckpt-00000042/chunk-000001".into(),
+                    rows: 100,
+                    bytes: 1600,
+                },
+            ],
+            payload_bytes: 67136,
+        }
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        let m = sample_manifest();
+        let bytes = m.encode();
+        let back = Manifest::decode(&bytes).unwrap();
+        assert_eq!(m, back);
+    }
+
+    #[test]
+    fn manifest_roundtrips_all_schemes() {
+        for scheme in [
+            QuantScheme::Fp32,
+            QuantScheme::Fp16,
+            QuantScheme::Symmetric { bits: 2 },
+            QuantScheme::Asymmetric { bits: 8 },
+            QuantScheme::KMeans { bits: 3 },
+        ] {
+            let mut m = sample_manifest();
+            m.scheme = scheme;
+            assert_eq!(Manifest::decode(&m.encode()).unwrap().scheme, scheme);
+        }
+    }
+
+    #[test]
+    fn manifest_full_has_no_base() {
+        let mut m = sample_manifest();
+        m.kind = CheckpointKind::Full;
+        m.base = None;
+        let back = Manifest::decode(&m.encode()).unwrap();
+        assert_eq!(back.base, None);
+        assert_eq!(back.kind, CheckpointKind::Full);
+    }
+
+    #[test]
+    fn manifest_detects_corruption() {
+        let bytes = sample_manifest().encode();
+        for i in (0..bytes.len()).step_by(7) {
+            let mut corrupted = bytes.clone();
+            corrupted[i] ^= 0x40;
+            assert!(
+                Manifest::decode(&corrupted).is_err(),
+                "flip at {i} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn manifest_rejects_wrong_magic_and_version() {
+        let bytes = sample_manifest().encode();
+        let mut bad_magic = bytes.clone();
+        bad_magic[0] ^= 0xFF;
+        assert!(Manifest::decode(&bad_magic).is_err());
+        let mut bad_version = bytes;
+        bad_version[4] = 99;
+        assert!(Manifest::decode(&bad_version).is_err());
+    }
+
+    #[test]
+    fn keys_are_hierarchical() {
+        let id = CheckpointId(7);
+        assert_eq!(Manifest::key("jobA", id), "jobA/ckpt-00000007/manifest");
+        assert_eq!(
+            Manifest::chunk_key("jobA", id, 3),
+            "jobA/ckpt-00000007/chunk-000003"
+        );
+    }
+
+    fn sample_chunk(with_acc: bool) -> ChunkPayload {
+        let scheme = QuantScheme::Asymmetric { bits: 4 };
+        let rows: Vec<QuantizedRow> = (0..3)
+            .map(|i| {
+                let row: Vec<f32> = (0..8).map(|j| (i * 8 + j) as f32 * 0.01).collect();
+                scheme.quantize_row(&row)
+            })
+            .collect();
+        ChunkPayload {
+            table: 1,
+            row_indices: vec![10, 20, 30],
+            optimizer_state: with_acc.then(|| vec![0.1, 0.2, 0.3]),
+            rows,
+        }
+    }
+
+    #[test]
+    fn chunk_roundtrip() {
+        for with_acc in [false, true] {
+            let c = sample_chunk(with_acc);
+            let back = ChunkPayload::decode(&c.encode()).unwrap();
+            assert_eq!(c, back);
+        }
+    }
+
+    #[test]
+    fn chunk_detects_corruption() {
+        let bytes = sample_chunk(true).encode();
+        for i in (0..bytes.len()).step_by(5) {
+            let mut corrupted = bytes.clone();
+            corrupted[i] ^= 0x10;
+            assert!(
+                ChunkPayload::decode(&corrupted).is_err(),
+                "flip at {i} accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_chunk_roundtrips() {
+        let c = ChunkPayload {
+            table: 0,
+            row_indices: vec![],
+            optimizer_state: None,
+            rows: vec![],
+        };
+        assert_eq!(ChunkPayload::decode(&c.encode()).unwrap(), c);
+    }
+
+    #[test]
+    fn total_bytes_includes_manifest() {
+        let m = sample_manifest();
+        assert!(m.total_bytes() > m.payload_bytes);
+    }
+}

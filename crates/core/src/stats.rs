@@ -1,0 +1,158 @@
+//! Per-interval bandwidth and capacity accounting (Figures 15–17).
+//!
+//! The paper reports every storage result normalized to the model size:
+//! checkpoint bytes per interval as "% of model size" (bandwidth proxy,
+//! Figure 15), live bytes per interval (capacity, Figure 16), and
+//! combined-technique reduction factors vs an unquantized full-checkpoint
+//! baseline (Figure 17). [`RunStats`] accumulates exactly those series.
+
+use crate::manifest::{CheckpointId, CheckpointKind};
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Accounting for one checkpoint interval.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IntervalStats {
+    /// Interval number (0-based).
+    pub interval: u32,
+    /// Checkpoint taken at the end of this interval.
+    pub checkpoint: CheckpointId,
+    /// Full baseline or incremental.
+    pub kind: CheckpointKind,
+    /// Logical bytes stored for this checkpoint (chunks + manifest).
+    pub stored_bytes: u64,
+    /// `stored_bytes` as a fraction of the FP32 full-model reference.
+    pub stored_fraction: f64,
+    /// Live bytes across all retained checkpoints after retention.
+    pub capacity_bytes: u64,
+    /// `capacity_bytes` as a fraction of the FP32 full-model reference.
+    pub capacity_fraction: f64,
+    /// Simulated time for the checkpoint to become durable.
+    pub write_latency: Duration,
+    /// Training stall charged by the snapshot.
+    pub stall: Duration,
+    /// Wall-clock CPU time spent quantizing.
+    pub quantize_cpu_time: Duration,
+}
+
+/// Accumulated statistics of one training run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunStats {
+    /// Reference size: the FP32 cost of checkpointing the whole model once
+    /// (embeddings + optimizer state + MLPs).
+    pub full_reference_bytes: u64,
+    /// Per-interval records in order.
+    pub intervals: Vec<IntervalStats>,
+}
+
+impl RunStats {
+    /// Creates stats with the FP32 full-model reference size.
+    pub fn new(full_reference_bytes: u64) -> Self {
+        Self {
+            full_reference_bytes,
+            intervals: Vec::new(),
+        }
+    }
+
+    /// Appends one interval record.
+    pub fn push(&mut self, stats: IntervalStats) {
+        self.intervals.push(stats);
+    }
+
+    /// Mean bytes stored per interval — the average write bandwidth proxy.
+    pub fn mean_stored_bytes(&self) -> f64 {
+        if self.intervals.is_empty() {
+            return 0.0;
+        }
+        self.intervals.iter().map(|i| i.stored_bytes as f64).sum::<f64>()
+            / self.intervals.len() as f64
+    }
+
+    /// Mean stored fraction per interval (Figure 15's average height).
+    pub fn mean_stored_fraction(&self) -> f64 {
+        if self.intervals.is_empty() {
+            return 0.0;
+        }
+        self.intervals.iter().map(|i| i.stored_fraction).sum::<f64>()
+            / self.intervals.len() as f64
+    }
+
+    /// Peak capacity fraction across intervals (Figure 16's max height, the
+    /// quantity Figure 17 reports reductions against).
+    pub fn peak_capacity_fraction(&self) -> f64 {
+        self.intervals
+            .iter()
+            .map(|i| i.capacity_fraction)
+            .fold(0.0, f64::max)
+    }
+
+    /// Average-bandwidth reduction factor vs a baseline that writes a full
+    /// FP32 checkpoint every interval (Figure 17, left bars).
+    pub fn bandwidth_reduction_vs_full(&self) -> f64 {
+        let mean = self.mean_stored_bytes();
+        if mean == 0.0 {
+            return f64::INFINITY;
+        }
+        self.full_reference_bytes as f64 / mean
+    }
+
+    /// Peak-capacity reduction factor vs a baseline that keeps one full
+    /// FP32 checkpoint (Figure 17, right bars).
+    pub fn capacity_reduction_vs_full(&self) -> f64 {
+        let peak = self.peak_capacity_fraction();
+        if peak == 0.0 {
+            return f64::INFINITY;
+        }
+        1.0 / peak
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interval(i: u32, kind: CheckpointKind, stored: u64, capacity: u64) -> IntervalStats {
+        IntervalStats {
+            interval: i,
+            checkpoint: CheckpointId(i as u64),
+            kind,
+            stored_bytes: stored,
+            stored_fraction: stored as f64 / 1000.0,
+            capacity_bytes: capacity,
+            capacity_fraction: capacity as f64 / 1000.0,
+            write_latency: Duration::from_secs(1),
+            stall: Duration::from_millis(10),
+            quantize_cpu_time: Duration::from_millis(5),
+        }
+    }
+
+    #[test]
+    fn means_and_peaks() {
+        let mut s = RunStats::new(1000);
+        s.push(interval(0, CheckpointKind::Full, 1000, 1000));
+        s.push(interval(1, CheckpointKind::Incremental, 250, 1250));
+        s.push(interval(2, CheckpointKind::Incremental, 350, 1350));
+        assert!((s.mean_stored_bytes() - 533.333).abs() < 0.01);
+        assert!((s.mean_stored_fraction() - 0.5333).abs() < 0.001);
+        assert!((s.peak_capacity_fraction() - 1.35).abs() < 1e-9);
+    }
+
+    #[test]
+    fn reduction_factors() {
+        let mut s = RunStats::new(1000);
+        s.push(interval(0, CheckpointKind::Full, 100, 100));
+        s.push(interval(1, CheckpointKind::Incremental, 100, 200));
+        // Mean stored = 100 -> 10x bandwidth reduction.
+        assert!((s.bandwidth_reduction_vs_full() - 10.0).abs() < 1e-9);
+        // Peak capacity fraction = 0.2 -> 5x capacity reduction.
+        assert!((s.capacity_reduction_vs_full() - 5.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_stats_are_safe() {
+        let s = RunStats::new(1000);
+        assert_eq!(s.mean_stored_bytes(), 0.0);
+        assert_eq!(s.peak_capacity_fraction(), 0.0);
+        assert!(s.bandwidth_reduction_vs_full().is_infinite());
+    }
+}

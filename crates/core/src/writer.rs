@@ -1,0 +1,455 @@
+//! The chunked, pipelined checkpoint writer (§4.4 steps 2–3).
+//!
+//! The snapshot is immutable, so optimization and storage run entirely on
+//! background CPU workers while training continues. Work flows as a
+//! pipeline over *chunks* of embedding rows:
+//!
+//! ```text
+//! chunker ──▶ [quantize workers × N] ──▶ object store (serialized channel)
+//! ```
+//!
+//! Chunking is what makes quantization latency invisible (§6.1): each
+//! quantized chunk uploads while the next one is being quantized, and since
+//! the store channel is the bottleneck, pipelined quantization adds ≈ zero
+//! end-to-end latency.
+
+use crate::config::CheckpointConfig;
+use crate::error::{CnrError, Result};
+use crate::manifest::{CheckpointId, ChunkMeta, ChunkPayload, Manifest, TableMeta};
+use crate::snapshot::TrainingSnapshot;
+use bytes::Bytes;
+use cnr_quant::QuantScheme;
+use cnr_storage::ObjectStore;
+use crossbeam::channel;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Result of writing one checkpoint.
+#[derive(Debug, Clone)]
+pub struct CheckpointRecord {
+    /// The stored manifest.
+    pub manifest: Manifest,
+    /// Key of the manifest object.
+    pub manifest_key: String,
+    /// Logical bytes stored (chunks + manifest).
+    pub stored_bytes: u64,
+    /// Simulated time at which the checkpoint became fully durable.
+    pub completed_at: Duration,
+    /// Simulated write latency (durable time − issue time); the §4.3 "time
+    /// it takes a checkpoint to become valid".
+    pub write_latency: Duration,
+    /// Wall-clock CPU time spent quantizing + encoding across all workers.
+    pub quantize_cpu_time: Duration,
+    /// Wall-clock duration of the whole write call.
+    pub wall_time: Duration,
+}
+
+/// One unit of pipeline work: a contiguous run of modified rows of a table.
+struct WorkItem {
+    seq: u32,
+    table: u16,
+    indices: Vec<u32>,
+    /// Row data copied from the snapshot, `indices.len() × dim`.
+    data: Vec<f32>,
+    /// Optimizer accumulators, one per row, when present.
+    acc: Option<Vec<f32>>,
+    dim: usize,
+}
+
+/// Writes checkpoints for one job onto one store.
+pub struct CheckpointWriter<'a> {
+    store: &'a dyn ObjectStore,
+    job: String,
+}
+
+impl<'a> CheckpointWriter<'a> {
+    /// Creates a writer for `job`.
+    pub fn new(store: &'a dyn ObjectStore, job: impl Into<String>) -> Self {
+        Self {
+            store,
+            job: job.into(),
+        }
+    }
+
+    /// Writes `snapshot` as checkpoint `id` (delta base `base`) using
+    /// `scheme`, chunked and quantized on `config.quantize_workers` threads.
+    pub fn write(
+        &self,
+        snapshot: &TrainingSnapshot,
+        id: CheckpointId,
+        base: Option<CheckpointId>,
+        scheme: QuantScheme,
+        config: &CheckpointConfig,
+    ) -> Result<CheckpointRecord> {
+        let wall_start = Instant::now();
+        let issue_time = snapshot.taken_at;
+        let quantize_nanos = AtomicU64::new(0);
+
+        // --- Chunk the delta. -------------------------------------------
+        let mut items = Vec::new();
+        let mut seq = 0u32;
+        for (t, table_state) in snapshot.model.tables.iter().enumerate() {
+            let mask = &snapshot.delta.tables[t];
+            let dim = if !mask.is_empty() {
+                table_state.data.len() / mask.len()
+            } else {
+                0
+            };
+            let mut indices: Vec<u32> = Vec::with_capacity(config.chunk_rows.min(mask.len()));
+            let flush =
+                |indices: &mut Vec<u32>, items: &mut Vec<WorkItem>, seq: &mut u32| {
+                    if indices.is_empty() {
+                        return;
+                    }
+                    let mut data = Vec::with_capacity(indices.len() * dim);
+                    let mut acc = table_state
+                        .adagrad
+                        .as_ref()
+                        .map(|_| Vec::with_capacity(indices.len()));
+                    for &row in indices.iter() {
+                        let r = row as usize;
+                        data.extend_from_slice(&table_state.data[r * dim..(r + 1) * dim]);
+                        if let (Some(acc), Some(src)) = (acc.as_mut(), &table_state.adagrad) {
+                            acc.push(src[r]);
+                        }
+                    }
+                    items.push(WorkItem {
+                        seq: *seq,
+                        table: t as u16,
+                        indices: std::mem::take(indices),
+                        data,
+                        acc,
+                        dim,
+                    });
+                    *seq += 1;
+                };
+            for row in mask.iter_ones() {
+                indices.push(row as u32);
+                if indices.len() >= config.chunk_rows {
+                    flush(&mut indices, &mut items, &mut seq);
+                }
+            }
+            flush(&mut indices, &mut items, &mut seq);
+        }
+
+        // --- Pipeline: quantize workers feeding the store. ----------------
+        let (work_tx, work_rx) = channel::bounded::<WorkItem>(config.quantize_workers * 2);
+        // Unbounded: metadata is tiny and is collected only after the scope
+        // joins, so a bounded channel would deadlock on checkpoints with more
+        // chunks than its capacity.
+        let (meta_tx, meta_rx) = channel::unbounded::<Result<(u32, ChunkMeta)>>();
+
+        let job = self.job.clone();
+        let store = self.store;
+        std::thread::scope(|scope| -> Result<()> {
+            for _ in 0..config.quantize_workers {
+                let work_rx = work_rx.clone();
+                let meta_tx = meta_tx.clone();
+                let job = job.clone();
+                let quantize_nanos = &quantize_nanos;
+                scope.spawn(move || {
+                    while let Ok(item) = work_rx.recv() {
+                        let t0 = Instant::now();
+                        let payload = encode_chunk(&item, &scheme);
+                        quantize_nanos
+                            .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        let key = Manifest::chunk_key(&job, id, item.seq);
+                        let bytes = payload.len() as u64;
+                        let result = store
+                            .put(&key, Bytes::from(payload))
+                            .map(|_receipt| {
+                                (
+                                    item.seq,
+                                    ChunkMeta {
+                                        key,
+                                        rows: item.indices.len() as u32,
+                                        bytes,
+                                    },
+                                )
+                            })
+                            .map_err(CnrError::from);
+                        if meta_tx.send(result).is_err() {
+                            return; // collector gone; abort quietly
+                        }
+                    }
+                });
+            }
+            drop(meta_tx);
+            // Feed the pipeline from this thread.
+            for item in items {
+                work_tx
+                    .send(item)
+                    .map_err(|_| CnrError::Pipeline("quantize workers died".into()))?;
+            }
+            drop(work_tx);
+            Ok(())
+        })?;
+
+        // Collect chunk metadata (workers have all exited; channel is drained).
+        let mut chunks: Vec<(u32, ChunkMeta)> = Vec::new();
+        for result in meta_rx.iter() {
+            chunks.push(result?);
+        }
+        chunks.sort_by_key(|(seq, _)| *seq);
+        let chunks: Vec<ChunkMeta> = chunks.into_iter().map(|(_, m)| m).collect();
+        let payload_bytes: u64 = chunks.iter().map(|c| c.bytes).sum();
+
+        // --- Manifest. -----------------------------------------------------
+        let tables: Vec<TableMeta> = snapshot
+            .model
+            .tables
+            .iter()
+            .zip(&snapshot.delta.tables)
+            .map(|(ts, mask)| TableMeta {
+                rows: mask.len() as u64,
+                dim: if !mask.is_empty() {
+                    (ts.data.len() / mask.len()) as u16
+                } else {
+                    0
+                },
+                has_optimizer_state: ts.adagrad.is_some(),
+            })
+            .collect();
+        let manifest = Manifest {
+            id,
+            kind: snapshot.kind,
+            base,
+            iteration: snapshot.model.iteration,
+            reader_state: snapshot.reader,
+            scheme,
+            tables,
+            bottom_mlp: snapshot.model.bottom.clone(),
+            top_mlp: snapshot.model.top.clone(),
+            chunks,
+            payload_bytes,
+        };
+        let manifest_key = Manifest::key(&self.job, id);
+        let manifest_bytes = manifest.encode();
+        let manifest_len = manifest_bytes.len() as u64;
+        let receipt = self.store.put(&manifest_key, Bytes::from(manifest_bytes))?;
+
+        Ok(CheckpointRecord {
+            manifest,
+            manifest_key,
+            stored_bytes: payload_bytes + manifest_len,
+            completed_at: receipt.completed_at,
+            write_latency: receipt.completed_at.saturating_sub(issue_time),
+            quantize_cpu_time: Duration::from_nanos(quantize_nanos.load(Ordering::Relaxed)),
+            wall_time: wall_start.elapsed(),
+        })
+    }
+}
+
+/// Quantizes and encodes one work item into chunk bytes.
+fn encode_chunk(item: &WorkItem, scheme: &QuantScheme) -> Vec<u8> {
+    let rows = item
+        .indices
+        .iter()
+        .enumerate()
+        .map(|(i, _)| scheme.quantize_row(&item.data[i * item.dim..(i + 1) * item.dim]))
+        .collect();
+    ChunkPayload {
+        table: item.table,
+        row_indices: item.indices.clone(),
+        optimizer_state: item.acc.clone(),
+        rows,
+    }
+    .encode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::CheckpointKind;
+    use crate::policy::{Decision, TrackerAction};
+    use crate::snapshot::SnapshotTaker;
+    use cnr_cluster::SimClock;
+    use cnr_model::{DlrmModel, ModelConfig, ShardPlan};
+    use cnr_reader::ReaderState;
+    use cnr_storage::{InMemoryStore, RemoteConfig, SimulatedRemoteStore};
+    use cnr_trainer::{Trainer, TrainerConfig};
+    use cnr_workload::{DatasetSpec, SyntheticDataset};
+
+    fn snapshot_after(batches: u64, kind: CheckpointKind) -> TrainingSnapshot {
+        snapshot_after_dim(batches, kind, 8)
+    }
+
+    fn snapshot_after_dim(batches: u64, kind: CheckpointKind, dim: usize) -> TrainingSnapshot {
+        let spec = DatasetSpec::tiny(77);
+        let ds = SyntheticDataset::new(spec.clone());
+        let cfg = ModelConfig::for_dataset(&spec, dim);
+        let plan = ShardPlan::balanced(&cfg, 1, 2);
+        let model = DlrmModel::new(cfg);
+        let mut trainer = Trainer::new(model, SimClock::new(), TrainerConfig::default());
+        for i in 0..batches {
+            trainer.train_one(&ds.batch(i));
+        }
+        let decision = match kind {
+            CheckpointKind::Full => Decision {
+                kind,
+                tracker: TrackerAction::SnapshotReset,
+            },
+            CheckpointKind::Incremental => Decision {
+                kind,
+                tracker: TrackerAction::SnapshotKeep,
+            },
+        };
+        SnapshotTaker::new(plan).take(
+            &mut trainer,
+            ReaderState::at(batches),
+            decision,
+            &CheckpointConfig::default(),
+        )
+    }
+
+    #[test]
+    fn full_checkpoint_stores_every_row() {
+        let store = InMemoryStore::new();
+        let snap = snapshot_after(3, CheckpointKind::Full);
+        let writer = CheckpointWriter::new(&store, "job");
+        let cfg = CheckpointConfig {
+            chunk_rows: 128,
+            ..Default::default()
+        };
+        let rec = writer
+            .write(&snap, CheckpointId(0), None, QuantScheme::Fp32, &cfg)
+            .unwrap();
+        let total_rows: u32 = rec.manifest.chunks.iter().map(|c| c.rows).sum();
+        assert_eq!(total_rows as usize, snap.delta.total_rows());
+        // 1000 + 500 rows at 128/chunk = 8 + 4 chunks.
+        assert_eq!(rec.manifest.chunks.len(), 12);
+        assert_eq!(rec.manifest.kind, CheckpointKind::Full);
+        // Every chunk object exists in the store.
+        for c in &rec.manifest.chunks {
+            assert_eq!(store.head(&c.key).unwrap().size, c.bytes);
+        }
+        assert!(store.get(&rec.manifest_key).is_ok());
+    }
+
+    #[test]
+    fn incremental_checkpoint_stores_only_delta() {
+        let store = InMemoryStore::new();
+        let snap = snapshot_after(2, CheckpointKind::Incremental);
+        let delta_rows = snap.delta.modified_rows();
+        assert!(delta_rows > 0 && delta_rows < snap.delta.total_rows());
+        let writer = CheckpointWriter::new(&store, "job");
+        let rec = writer
+            .write(
+                &snap,
+                CheckpointId(1),
+                Some(CheckpointId(0)),
+                QuantScheme::Fp32,
+                &CheckpointConfig::default(),
+            )
+            .unwrap();
+        let total_rows: u32 = rec.manifest.chunks.iter().map(|c| c.rows).sum();
+        assert_eq!(total_rows as usize, delta_rows);
+        assert_eq!(rec.manifest.base, Some(CheckpointId(0)));
+    }
+
+    #[test]
+    fn quantized_checkpoint_is_smaller() {
+        let store = InMemoryStore::new();
+        // Realistic embedding dim so per-row metadata (indices + quant
+        // params) does not mask the payload reduction — the paper makes the
+        // same caveat about metadata in §6.3.2.
+        let snap = snapshot_after_dim(3, CheckpointKind::Full, 32);
+        let writer = CheckpointWriter::new(&store, "job");
+        let cfg = CheckpointConfig::default();
+        let fp32 = writer
+            .write(&snap, CheckpointId(0), None, QuantScheme::Fp32, &cfg)
+            .unwrap();
+        let q4 = writer
+            .write(
+                &snap,
+                CheckpointId(1),
+                None,
+                QuantScheme::Asymmetric { bits: 4 },
+                &cfg,
+            )
+            .unwrap();
+        let ratio = fp32.stored_bytes as f64 / q4.stored_bytes as f64;
+        assert!(
+            ratio > 2.0,
+            "4-bit should be much smaller than fp32, got {ratio}x"
+        );
+    }
+
+    #[test]
+    fn chunk_payloads_decode_and_match_snapshot() {
+        let store = InMemoryStore::new();
+        let snap = snapshot_after(2, CheckpointKind::Full);
+        let writer = CheckpointWriter::new(&store, "job");
+        let rec = writer
+            .write(
+                &snap,
+                CheckpointId(0),
+                None,
+                QuantScheme::Fp32,
+                &CheckpointConfig::default(),
+            )
+            .unwrap();
+        // Decode the first chunk and verify rows are bit-exact (fp32).
+        let chunk_bytes = store.get(&rec.manifest.chunks[0].key).unwrap();
+        let chunk = ChunkPayload::decode(&chunk_bytes).unwrap();
+        let t = chunk.table as usize;
+        let dim = rec.manifest.tables[t].dim as usize;
+        for (i, &row_idx) in chunk.row_indices.iter().enumerate() {
+            let original =
+                &snap.model.tables[t].data[row_idx as usize * dim..(row_idx as usize + 1) * dim];
+            assert_eq!(chunk.rows[i].dequantize(), original);
+        }
+    }
+
+    #[test]
+    fn parallel_workers_produce_identical_checkpoints() {
+        let snap = snapshot_after(3, CheckpointKind::Full);
+        let run = |workers: usize| -> Manifest {
+            let store = InMemoryStore::new();
+            let writer = CheckpointWriter::new(&store, "job");
+            let cfg = CheckpointConfig {
+                quantize_workers: workers,
+                ..Default::default()
+            };
+            writer
+                .write(
+                    &snap,
+                    CheckpointId(0),
+                    None,
+                    QuantScheme::Asymmetric { bits: 4 },
+                    &cfg,
+                )
+                .unwrap()
+                .manifest
+        };
+        assert_eq!(run(1), run(4), "worker count must not change the output");
+    }
+
+    #[test]
+    fn simulated_store_reports_write_latency() {
+        let clock = SimClock::new();
+        let store = SimulatedRemoteStore::new(
+            RemoteConfig {
+                bandwidth_bytes_per_sec: 1024.0 * 1024.0, // 1 MB/s: slow
+                base_latency: Duration::from_millis(1),
+                replication: 1,
+            },
+            clock.clone(),
+        );
+        let snap = snapshot_after(2, CheckpointKind::Full);
+        let writer = CheckpointWriter::new(&store, "job");
+        let rec = writer
+            .write(
+                &snap,
+                CheckpointId(0),
+                None,
+                QuantScheme::Fp32,
+                &CheckpointConfig::default(),
+            )
+            .unwrap();
+        // ~1500 rows * 8 dim * 4B ≈ 48 KB -> tens of ms at 1 MB/s.
+        assert!(rec.write_latency > Duration::from_millis(10));
+        assert_eq!(rec.completed_at, store.drained_at());
+        assert!(rec.quantize_cpu_time > Duration::ZERO);
+    }
+}

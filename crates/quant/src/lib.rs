@@ -1,0 +1,112 @@
+//! Checkpoint quantization for embedding tables.
+//!
+//! Implements §5.2 of the Check-N-Run paper: quantization applied *only to
+//! checkpoints* (training stays FP32), evaluated by the mean ℓ2 error between
+//! original and de-quantized embedding vectors. Four schemes, exactly as the
+//! paper compares them in Figure 9:
+//!
+//! | scheme | paper verdict |
+//! |---|---|
+//! | uniform symmetric | worst — embedding values are not symmetric |
+//! | uniform asymmetric | good, cheap; used for 8-bit |
+//! | k-means (non-uniform) | marginally best ℓ2, orders of magnitude too slow |
+//! | adaptive asymmetric | ≈ k-means quality at feasible cost; default ≤4 bits |
+//!
+//! The adaptive scheme is a greedy range-shrinking search ([`adaptive`])
+//! parameterized by `num_bins` and `ratio` (Figures 10–13), with parameters
+//! auto-selected on a tiny uniform sample of the checkpoint ([`select`]).
+//!
+//! Quantized rows serialize to a compact self-describing byte format
+//! ([`codec`]) used by the chunked checkpoint writer in `cnr-core`.
+
+pub mod adaptive;
+pub mod bitpack;
+pub mod codec;
+pub mod error;
+pub mod half;
+pub mod kmeans;
+pub mod params;
+pub mod scheme;
+pub mod select;
+pub mod uniform;
+
+pub use codec::QuantizedRow;
+pub use error::{mean_l2_error, mean_l2_error_of_rows, row_l2_error};
+pub use params::QuantParams;
+pub use scheme::QuantScheme;
+pub use select::{AdaptiveParams, ParamSelector, SelectionReport};
+
+/// Source of embedding rows for whole-checkpoint operations (error metrics,
+/// parameter selection). Implemented by `cnr-model`'s tables via an adapter
+/// in `cnr-core`, and by [`FlatRows`] for tests and benches.
+pub trait RowSource {
+    /// Number of rows available.
+    fn num_rows(&self) -> usize;
+    /// Row `i` as a slice of f32 values.
+    fn row(&self, i: usize) -> &[f32];
+    /// Dimensionality of each row.
+    fn dim(&self) -> usize;
+}
+
+/// A [`RowSource`] over a flat `Vec<f32>` (row-major).
+#[derive(Debug, Clone)]
+pub struct FlatRows {
+    data: Vec<f32>,
+    dim: usize,
+}
+
+impl FlatRows {
+    /// Wraps row-major data with the given row dimensionality.
+    ///
+    /// Panics when the data length is not a multiple of `dim`, because a
+    /// ragged table means the caller has a bug.
+    pub fn new(data: Vec<f32>, dim: usize) -> Self {
+        assert!(dim > 0, "dim must be positive");
+        assert_eq!(
+            data.len() % dim,
+            0,
+            "data length {} is not a multiple of dim {dim}",
+            data.len()
+        );
+        Self { data, dim }
+    }
+
+    /// The underlying flat buffer.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+}
+
+impl RowSource for FlatRows {
+    fn num_rows(&self) -> usize {
+        self.data.len() / self.dim
+    }
+
+    fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.dim..(i + 1) * self.dim]
+    }
+
+    fn dim(&self) -> usize {
+        self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_rows_slicing() {
+        let r = FlatRows::new(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3);
+        assert_eq!(r.num_rows(), 2);
+        assert_eq!(r.dim(), 3);
+        assert_eq!(r.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(r.row(1), &[4.0, 5.0, 6.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn flat_rows_rejects_ragged() {
+        let _ = FlatRows::new(vec![1.0; 7], 3);
+    }
+}

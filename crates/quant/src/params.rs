@@ -1,0 +1,174 @@
+//! Quantization parameters stored alongside each quantized vector.
+//!
+//! The paper's asymmetric schemes keep `(xmin, xmax)` per embedding vector
+//! (§5.2, "the small additional overhead of storing both xmin, xmax");
+//! k-means keeps a full codebook. These parameters are exactly the metadata
+//! the paper blames for savings being "not linearly proportional to the
+//! chosen quantization bit-width" (§6.3.2), so this module also exposes
+//! [`QuantParams::byte_size`] for faithful size accounting.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-vector quantization parameters.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum QuantParams {
+    /// No quantization; codes are raw little-endian f32 bytes.
+    Fp32,
+    /// Half precision; each 16-bit code is an IEEE binary16 bit pattern.
+    Fp16,
+    /// Uniform quantization: `x ≈ scale * code + zero_point`.
+    Uniform {
+        /// Step size between adjacent grid points.
+        scale: f32,
+        /// Value represented by code 0 (the paper defines it as `xmin`).
+        zero_point: f32,
+    },
+    /// Non-uniform quantization: `x ≈ codebook[code]`.
+    Codebook(Vec<f32>),
+}
+
+impl QuantParams {
+    /// De-quantizes a single code.
+    #[inline]
+    pub fn dequantize_code(&self, code: u16) -> f32 {
+        match self {
+            QuantParams::Fp32 => {
+                unreachable!("Fp32 rows are decoded bytewise, not via codes")
+            }
+            QuantParams::Fp16 => crate::half::f16_bits_to_f32(code),
+            QuantParams::Uniform { scale, zero_point } => scale * code as f32 + zero_point,
+            QuantParams::Codebook(cb) => cb[code as usize],
+        }
+    }
+
+    /// Serialized size of the parameters in bytes (the metadata overhead the
+    /// paper discusses in §6.3.2).
+    pub fn byte_size(&self) -> usize {
+        match self {
+            QuantParams::Fp32 | QuantParams::Fp16 => 0,
+            QuantParams::Uniform { .. } => 8, // scale + zero_point
+            QuantParams::Codebook(cb) => 4 * cb.len(),
+        }
+    }
+}
+
+/// Builds uniform parameters from a `[xmin, xmax]` range and bit-width.
+///
+/// Degenerate ranges (`xmax <= xmin`, e.g. a constant vector) yield
+/// `scale = 0`, which de-quantizes every code to `zero_point` — exact for the
+/// constant-vector case.
+pub fn uniform_params(xmin: f32, xmax: f32, bits: u8) -> QuantParams {
+    debug_assert!((1..=16).contains(&bits));
+    let levels = (1u32 << bits) - 1;
+    let range = xmax - xmin;
+    let scale = if range > 0.0 && range.is_finite() {
+        range / levels as f32
+    } else {
+        0.0
+    };
+    QuantParams::Uniform {
+        scale,
+        zero_point: xmin,
+    }
+}
+
+/// Quantizes one value with uniform parameters, clamping to the code range.
+/// This is the paper's `FQ(x, xmin, xmax)` operator.
+#[inline]
+pub fn uniform_quantize_value(x: f32, scale: f32, zero_point: f32, bits: u8) -> u16 {
+    let levels = (1u32 << bits) - 1;
+    if scale <= 0.0 {
+        return 0;
+    }
+    let q = ((x - zero_point) / scale).round();
+    if q <= 0.0 {
+        0
+    } else if q >= levels as f32 {
+        levels as u16
+    } else {
+        q as u16
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_params_cover_range() {
+        let p = uniform_params(-1.0, 1.0, 2);
+        match p {
+            QuantParams::Uniform { scale, zero_point } => {
+                assert!((scale - 2.0 / 3.0).abs() < 1e-6);
+                assert_eq!(zero_point, -1.0);
+            }
+            _ => panic!("expected uniform"),
+        }
+    }
+
+    #[test]
+    fn degenerate_range_is_exact_for_constants() {
+        let p = uniform_params(0.5, 0.5, 4);
+        if let QuantParams::Uniform { scale, zero_point } = p {
+            assert_eq!(scale, 0.0);
+            let code = uniform_quantize_value(0.5, scale, zero_point, 4);
+            assert_eq!(code, 0);
+            assert_eq!(p.dequantize_code(code), 0.5);
+        } else {
+            panic!("expected uniform");
+        }
+    }
+
+    #[test]
+    fn quantize_clamps_out_of_range() {
+        let (scale, zp) = match uniform_params(0.0, 1.0, 2) {
+            QuantParams::Uniform { scale, zero_point } => (scale, zero_point),
+            _ => unreachable!(),
+        };
+        assert_eq!(uniform_quantize_value(-5.0, scale, zp, 2), 0);
+        assert_eq!(uniform_quantize_value(5.0, scale, zp, 2), 3);
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_scale() {
+        let (scale, zp) = match uniform_params(-2.0, 2.0, 8) {
+            QuantParams::Uniform { scale, zero_point } => (scale, zero_point),
+            _ => unreachable!(),
+        };
+        let p = QuantParams::Uniform {
+            scale,
+            zero_point: zp,
+        };
+        for i in 0..1000 {
+            let x = -2.0 + 4.0 * (i as f32 / 999.0);
+            let code = uniform_quantize_value(x, scale, zp, 8);
+            let back = p.dequantize_code(code);
+            assert!(
+                (x - back).abs() <= scale / 2.0 + 1e-6,
+                "error {} exceeds scale/2 {}",
+                (x - back).abs(),
+                scale / 2.0
+            );
+        }
+    }
+
+    #[test]
+    fn codebook_dequantize() {
+        let p = QuantParams::Codebook(vec![-1.0, 0.0, 2.5, 7.0]);
+        assert_eq!(p.dequantize_code(2), 2.5);
+        assert_eq!(p.byte_size(), 16);
+    }
+
+    #[test]
+    fn byte_sizes() {
+        assert_eq!(QuantParams::Fp32.byte_size(), 0);
+        assert_eq!(
+            QuantParams::Uniform {
+                scale: 1.0,
+                zero_point: 0.0
+            }
+            .byte_size(),
+            8
+        );
+    }
+}

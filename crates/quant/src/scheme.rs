@@ -1,0 +1,241 @@
+//! Unified quantization scheme selector.
+//!
+//! [`QuantScheme`] is the configuration value that flows through Check-N-Run:
+//! the engine picks one per checkpoint (§6.2.1 dynamic bit-width selection)
+//! and the chunked writer applies it row by row.
+
+use crate::adaptive::quantize_adaptive;
+use crate::codec::QuantizedRow;
+use crate::kmeans::{quantize_kmeans, DEFAULT_ITERS};
+use crate::uniform::{quantize_asymmetric, quantize_symmetric};
+use serde::{Deserialize, Serialize};
+
+/// A quantization scheme with its parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum QuantScheme {
+    /// No quantization (32-bit passthrough, bit-exact).
+    Fp32,
+    /// IEEE binary16: 2× smaller, ~3 significant digits, parameter-free.
+    Fp16,
+    /// Uniform symmetric (§5.2 Approach 1, baseline).
+    Symmetric {
+        /// Code width in bits (1..=8).
+        bits: u8,
+    },
+    /// Uniform asymmetric (§5.2 Approach 1, the 8-bit default).
+    Asymmetric {
+        /// Code width in bits (1..=8).
+        bits: u8,
+    },
+    /// K-means non-uniform (§5.2 Approach 2; quality yardstick only).
+    KMeans {
+        /// Code width in bits (1..=8); the codebook has `2^bits` entries.
+        bits: u8,
+    },
+    /// Adaptive asymmetric (§5.2 Approach 3, default for ≤4 bits).
+    AdaptiveAsymmetric {
+        /// Code width in bits (1..=8).
+        bits: u8,
+        /// Greedy search granularity (paper sweeps 5–50; optima 25/45).
+        num_bins: u32,
+        /// Fraction of the range the search may consume, in (0, 1]
+        /// (stored ×1000 as integer-friendly f64 in configs).
+        ratio: f64,
+    },
+}
+
+impl QuantScheme {
+    /// The paper's recommended scheme for a bit-width (§5.2 summary):
+    /// adaptive asymmetric at ≤4 bits (25 bins for 2–3 bits, 45 for 4),
+    /// naive asymmetric at 8 bits, FP32 above.
+    pub fn recommended_for_bits(bits: u8) -> Self {
+        match bits {
+            0 => QuantScheme::Fp32,
+            1..=3 => QuantScheme::AdaptiveAsymmetric {
+                bits,
+                num_bins: 25,
+                ratio: 1.0,
+            },
+            4 => QuantScheme::AdaptiveAsymmetric {
+                bits,
+                num_bins: 45,
+                ratio: 1.0,
+            },
+            5..=8 => QuantScheme::Asymmetric { bits },
+            9..=16 => QuantScheme::Fp16,
+            _ => QuantScheme::Fp32,
+        }
+    }
+
+    /// Code width in bits (32 for FP32 passthrough).
+    pub fn bits(&self) -> u8 {
+        match self {
+            QuantScheme::Fp32 => 32,
+            QuantScheme::Fp16 => 16,
+            QuantScheme::Symmetric { bits }
+            | QuantScheme::Asymmetric { bits }
+            | QuantScheme::KMeans { bits }
+            | QuantScheme::AdaptiveAsymmetric { bits, .. } => *bits,
+        }
+    }
+
+    /// Short human-readable name (used in experiment output).
+    pub fn name(&self) -> &'static str {
+        match self {
+            QuantScheme::Fp32 => "fp32",
+            QuantScheme::Fp16 => "fp16",
+            QuantScheme::Symmetric { .. } => "symmetric",
+            QuantScheme::Asymmetric { .. } => "asymmetric",
+            QuantScheme::KMeans { .. } => "kmeans",
+            QuantScheme::AdaptiveAsymmetric { .. } => "adaptive-asymmetric",
+        }
+    }
+
+    /// Quantizes one embedding row.
+    pub fn quantize_row(&self, row: &[f32]) -> QuantizedRow {
+        match *self {
+            QuantScheme::Fp32 => QuantizedRow::fp32(row),
+            QuantScheme::Fp16 => {
+                let codes: Vec<u16> =
+                    row.iter().map(|&x| crate::half::f32_to_f16_bits(x)).collect();
+                QuantizedRow::from_codes(codes, crate::params::QuantParams::Fp16, 16, row.len())
+            }
+            QuantScheme::Symmetric { bits } => {
+                let (codes, params) = quantize_symmetric(row, bits);
+                QuantizedRow::from_codes(codes, params, bits, row.len())
+            }
+            QuantScheme::Asymmetric { bits } => {
+                let (codes, params) = quantize_asymmetric(row, bits);
+                QuantizedRow::from_codes(codes, params, bits, row.len())
+            }
+            QuantScheme::KMeans { bits } => {
+                let (codes, params) = quantize_kmeans(row, bits, DEFAULT_ITERS);
+                QuantizedRow::from_codes(codes, params, bits, row.len())
+            }
+            QuantScheme::AdaptiveAsymmetric {
+                bits,
+                num_bins,
+                ratio,
+            } => {
+                let (codes, params) = quantize_adaptive(row, bits, num_bins, ratio);
+                QuantizedRow::from_codes(codes, params, bits, row.len())
+            }
+        }
+    }
+
+    /// Expected serialized bytes per row of dimension `dim`, including the
+    /// per-row parameter overhead — the quantity Figures 15–17 account in
+    /// "% of model size".
+    pub fn bytes_per_row(&self, dim: usize) -> usize {
+        self.quantize_row(&vec![0.0f32; dim.max(1)][..dim]).byte_size()
+    }
+}
+
+impl std::fmt::Display for QuantScheme {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            QuantScheme::Fp32 => write!(f, "fp32"),
+            QuantScheme::Fp16 => write!(f, "fp16"),
+            QuantScheme::Symmetric { bits } => write!(f, "symmetric-{bits}bit"),
+            QuantScheme::Asymmetric { bits } => write!(f, "asymmetric-{bits}bit"),
+            QuantScheme::KMeans { bits } => write!(f, "kmeans-{bits}bit"),
+            QuantScheme::AdaptiveAsymmetric {
+                bits,
+                num_bins,
+                ratio,
+            } => write!(f, "adaptive-{bits}bit(bins={num_bins},ratio={ratio})"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::row_l2_error;
+
+    fn sample_row() -> Vec<f32> {
+        (0..64).map(|i| ((i * 29 % 64) as f32 / 64.0 - 0.4) * 0.2).collect()
+    }
+
+    #[test]
+    fn all_schemes_roundtrip_with_bounded_error() {
+        let row = sample_row();
+        let schemes = [
+            QuantScheme::Fp32,
+            QuantScheme::Symmetric { bits: 8 },
+            QuantScheme::Asymmetric { bits: 8 },
+            QuantScheme::KMeans { bits: 8 },
+            QuantScheme::AdaptiveAsymmetric {
+                bits: 8,
+                num_bins: 10,
+                ratio: 0.5,
+            },
+        ];
+        for s in schemes {
+            let q = s.quantize_row(&row);
+            let back = q.dequantize();
+            assert_eq!(back.len(), row.len());
+            let e = row_l2_error(&row, &back);
+            assert!(e < 0.01, "{s}: error {e} too high at 8 bits");
+        }
+    }
+
+    #[test]
+    fn fp32_is_bit_exact() {
+        let row = sample_row();
+        let q = QuantScheme::Fp32.quantize_row(&row);
+        assert_eq!(q.dequantize(), row);
+    }
+
+    #[test]
+    fn recommended_schemes_match_paper() {
+        assert!(matches!(
+            QuantScheme::recommended_for_bits(2),
+            QuantScheme::AdaptiveAsymmetric {
+                bits: 2,
+                num_bins: 25,
+                ..
+            }
+        ));
+        assert!(matches!(
+            QuantScheme::recommended_for_bits(4),
+            QuantScheme::AdaptiveAsymmetric {
+                bits: 4,
+                num_bins: 45,
+                ..
+            }
+        ));
+        assert!(matches!(
+            QuantScheme::recommended_for_bits(8),
+            QuantScheme::Asymmetric { bits: 8 }
+        ));
+        assert!(matches!(
+            QuantScheme::recommended_for_bits(0),
+            QuantScheme::Fp32
+        ));
+    }
+
+    #[test]
+    fn bytes_per_row_orders_sanely() {
+        let dim = 64;
+        let b2 = QuantScheme::recommended_for_bits(2).bytes_per_row(dim);
+        let b4 = QuantScheme::recommended_for_bits(4).bytes_per_row(dim);
+        let b8 = QuantScheme::recommended_for_bits(8).bytes_per_row(dim);
+        let b32 = QuantScheme::Fp32.bytes_per_row(dim);
+        assert!(b2 < b4 && b4 < b8 && b8 < b32);
+        assert_eq!(b32, dim * 4 + 4, "fp32 row = payload + 4-byte header");
+        // 2-bit: 16 bytes of codes + 8 bytes params (+ header) — well under
+        // the 13x reduction ceiling the paper quotes for quantization alone.
+        assert!(b2 <= dim / 4 + 8 + 8);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = QuantScheme::AdaptiveAsymmetric {
+            bits: 4,
+            num_bins: 45,
+            ratio: 1.0,
+        };
+        assert!(format!("{s}").contains("adaptive-4bit"));
+    }
+}

@@ -1,0 +1,144 @@
+//! Uniform quantization: symmetric and asymmetric (§5.2, Approach 1).
+//!
+//! * **Symmetric**: the range is `[-max|x|, +max|x|]`. Simple, but embedding
+//!   values are not symmetrically distributed, so half the code space is
+//!   often wasted — the paper finds it consistently worst (Figure 9).
+//! * **Asymmetric**: the range is `[min x, max x]` of the actual vector, at
+//!   the cost of storing both endpoints. The paper's default for 8-bit
+//!   checkpoints.
+
+use crate::params::{uniform_params, uniform_quantize_value, QuantParams};
+
+/// Quantizes `row` with a symmetric range derived from its maximum absolute
+/// value. Returns per-element codes plus the parameters.
+pub fn quantize_symmetric(row: &[f32], bits: u8) -> (Vec<u16>, QuantParams) {
+    let xmax = row.iter().fold(0.0f32, |m, &x| m.max(x.abs()));
+    quantize_with_range(row, -xmax, xmax, bits)
+}
+
+/// Quantizes `row` with the asymmetric range `[min, max]` of its elements.
+pub fn quantize_asymmetric(row: &[f32], bits: u8) -> (Vec<u16>, QuantParams) {
+    let (xmin, xmax) = min_max(row);
+    quantize_with_range(row, xmin, xmax, bits)
+}
+
+/// The paper's `FQ(x, xmin, xmax)`: quantizes `row` against an explicit
+/// range, clipping elements that fall outside it. Exposed publicly because
+/// the adaptive scheme calls it with shrunken ranges.
+pub fn quantize_with_range(row: &[f32], xmin: f32, xmax: f32, bits: u8) -> (Vec<u16>, QuantParams) {
+    let params = uniform_params(xmin, xmax, bits);
+    let (scale, zero_point) = match params {
+        QuantParams::Uniform { scale, zero_point } => (scale, zero_point),
+        _ => unreachable!(),
+    };
+    let codes = row
+        .iter()
+        .map(|&x| uniform_quantize_value(x, scale, zero_point, bits))
+        .collect();
+    (codes, params)
+}
+
+/// Minimum and maximum of a slice. Empty slices report `(0, 0)`, which
+/// quantizes to the degenerate constant-zero range.
+pub fn min_max(row: &[f32]) -> (f32, f32) {
+    if row.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mut lo = f32::INFINITY;
+    let mut hi = f32::NEG_INFINITY;
+    for &x in row {
+        lo = lo.min(x);
+        hi = hi.max(x);
+    }
+    (lo, hi)
+}
+
+/// De-quantizes codes produced by any uniform scheme.
+pub fn dequantize(codes: &[u16], params: &QuantParams) -> Vec<f32> {
+    codes.iter().map(|&c| params.dequantize_code(c)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::row_l2_error;
+
+    fn skewed_row() -> Vec<f32> {
+        // Asymmetric distribution: mostly small positives, one large value.
+        vec![0.01, 0.02, 0.05, 0.03, 0.04, 0.9, 0.02, 0.01]
+    }
+
+    #[test]
+    fn asymmetric_beats_symmetric_on_skewed_data() {
+        let row = skewed_row();
+        for bits in [2u8, 3, 4, 8] {
+            let (cs, ps) = quantize_symmetric(&row, bits);
+            let (ca, pa) = quantize_asymmetric(&row, bits);
+            let es = row_l2_error(&row, &dequantize(&cs, &ps));
+            let ea = row_l2_error(&row, &dequantize(&ca, &pa));
+            assert!(
+                ea <= es,
+                "asymmetric ({ea}) should not lose to symmetric ({es}) at {bits} bits"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_range_is_symmetric() {
+        let row = vec![-0.5f32, 0.25, 0.1];
+        let (_, p) = quantize_symmetric(&row, 8);
+        if let QuantParams::Uniform { scale, zero_point } = p {
+            // zero_point = -max|x| = -0.5 and range = 1.0.
+            assert!((zero_point + 0.5).abs() < 1e-6);
+            assert!((scale - 1.0 / 255.0).abs() < 1e-6);
+        } else {
+            panic!("expected uniform");
+        }
+    }
+
+    #[test]
+    fn asymmetric_endpoints_are_exactly_representable() {
+        let row = vec![-0.3f32, 0.7, 0.1, 0.2];
+        let (codes, p) = quantize_asymmetric(&row, 4);
+        let back = dequantize(&codes, &p);
+        // min and max of the row are grid points, so they roundtrip to within
+        // float arithmetic error.
+        assert!((back[0] + 0.3).abs() < 1e-5);
+        assert!((back[1] - 0.7).abs() < 1e-5);
+    }
+
+    #[test]
+    fn error_shrinks_with_more_bits() {
+        let row: Vec<f32> = (0..64).map(|i| ((i * 37) % 64) as f32 / 64.0 - 0.3).collect();
+        let mut prev = f64::INFINITY;
+        for bits in [2u8, 3, 4, 8] {
+            let (c, p) = quantize_asymmetric(&row, bits);
+            let e = row_l2_error(&row, &dequantize(&c, &p));
+            assert!(e < prev, "error should drop as bits increase");
+            prev = e;
+        }
+    }
+
+    #[test]
+    fn constant_row_is_exact() {
+        let row = vec![0.42f32; 16];
+        let (c, p) = quantize_asymmetric(&row, 2);
+        let back = dequantize(&c, &p);
+        assert_eq!(back, row);
+    }
+
+    #[test]
+    fn empty_row() {
+        let (c, _p) = quantize_asymmetric(&[], 4);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn out_of_range_values_clip() {
+        let row = vec![0.0f32, 1.0];
+        let (codes, p) = quantize_with_range(&row, 0.25, 0.75, 2);
+        let back = dequantize(&codes, &p);
+        assert!((back[0] - 0.25).abs() < 1e-6, "below range clips to xmin");
+        assert!((back[1] - 0.75).abs() < 1e-6, "above range clips to xmax");
+    }
+}

@@ -1,0 +1,355 @@
+//! Reader master: parallel batch generation, ordered delivery, batch budgets.
+//!
+//! Worker threads claim batch indices from a shared counter, generate batches
+//! (CPU-bound: the dataset is synthetic), and insert them into a reorder
+//! buffer. The consumer side ([`ReaderMaster::next_batch`]) delivers batches
+//! strictly in index order, because the trainer's synchronous SGD consumes a
+//! deterministic stream. Generation never runs more than `queue_depth`
+//! batches ahead of consumption, and never past the current **budget** —
+//! the §4.1 protocol that guarantees no in-flight batches at checkpoint time.
+
+use crate::state::ReaderState;
+use cnr_workload::{Batch, SyntheticDataset};
+use parking_lot::{Condvar, Mutex};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// Reader tier configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReaderConfig {
+    /// Worker threads generating batches (the paper uses hundreds of reader
+    /// nodes; we use threads).
+    pub workers: usize,
+    /// Maximum batches buffered ahead of the trainer.
+    pub queue_depth: usize,
+}
+
+impl Default for ReaderConfig {
+    fn default() -> Self {
+        Self {
+            workers: 2,
+            queue_depth: 8,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Shared {
+    state: Mutex<Inner>,
+    /// Signals workers (budget extended, space freed, shutdown) and the
+    /// consumer (batch ready).
+    cond: Condvar,
+}
+
+#[derive(Debug)]
+struct Inner {
+    /// Next batch index not yet claimed by any worker.
+    next_to_generate: u64,
+    /// Next batch index to hand to the trainer.
+    next_to_emit: u64,
+    /// Exclusive upper bound of the current budget.
+    budget_end: u64,
+    /// Generated batches awaiting ordered delivery.
+    ready: BTreeMap<u64, Batch>,
+    shutdown: bool,
+}
+
+/// The reader master. Dropping it shuts the workers down.
+pub struct ReaderMaster {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+    queue_depth: usize,
+}
+
+impl ReaderMaster {
+    /// Starts the reader tier at a fresh state.
+    pub fn new(dataset: SyntheticDataset, config: ReaderConfig) -> Self {
+        Self::from_state(dataset, ReaderState::fresh(), config)
+    }
+
+    /// Starts the reader tier from a restored checkpoint state.
+    pub fn from_state(
+        dataset: SyntheticDataset,
+        state: ReaderState,
+        config: ReaderConfig,
+    ) -> Self {
+        assert!(config.workers >= 1, "need at least one reader worker");
+        assert!(config.queue_depth >= 1, "queue depth must be >= 1");
+        let shared = Arc::new(Shared {
+            state: Mutex::new(Inner {
+                next_to_generate: state.next_batch,
+                next_to_emit: state.next_batch,
+                budget_end: state.next_batch,
+                ready: BTreeMap::new(),
+                shutdown: false,
+            }),
+            cond: Condvar::new(),
+        });
+        let dataset = Arc::new(dataset);
+        let workers = (0..config.workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                let dataset = Arc::clone(&dataset);
+                let depth = config.queue_depth;
+                std::thread::spawn(move || worker_loop(&shared, &dataset, depth))
+            })
+            .collect();
+        Self {
+            shared,
+            workers,
+            queue_depth: config.queue_depth,
+        }
+    }
+
+    /// Extends the budget by `n` batches (controller → reader master call:
+    /// "read this many batches until the next checkpoint", §4.1).
+    pub fn extend_budget(&self, n: u64) {
+        let mut inner = self.shared.state.lock();
+        inner.budget_end += n;
+        drop(inner);
+        self.shared.cond.notify_all();
+    }
+
+    /// Delivers the next batch in order. Blocks while workers catch up.
+    ///
+    /// Panics if called beyond the budget — the trainer driving past the
+    /// budget is a protocol violation that would reintroduce the
+    /// reader/trainer gap, so it fails loudly.
+    pub fn next_batch(&self) -> Batch {
+        let mut inner = self.shared.state.lock();
+        assert!(
+            inner.next_to_emit < inner.budget_end,
+            "next_batch() called beyond the checkpoint budget"
+        );
+        loop {
+            let want = inner.next_to_emit;
+            if let Some(batch) = inner.ready.remove(&want) {
+                inner.next_to_emit += 1;
+                drop(inner);
+                // Space freed: wake a worker.
+                self.shared.cond.notify_all();
+                return batch;
+            }
+            self.shared.cond.wait(&mut inner);
+        }
+    }
+
+    /// Waits until every budgeted batch has been consumed, then returns the
+    /// reader state. This is the state-collection step of a checkpoint: by
+    /// construction there are no in-flight batches.
+    pub fn collect_state(&self) -> ReaderState {
+        let mut inner = self.shared.state.lock();
+        while inner.next_to_emit < inner.budget_end {
+            self.shared.cond.wait(&mut inner);
+        }
+        debug_assert!(inner.ready.is_empty(), "drained reader retains batches");
+        ReaderState::at(inner.next_to_emit)
+    }
+
+    /// Batches remaining in the current budget (not yet consumed).
+    pub fn remaining_budget(&self) -> u64 {
+        let inner = self.shared.state.lock();
+        inner.budget_end - inner.next_to_emit
+    }
+
+    /// Number of generated-but-unconsumed batches (in-flight).
+    pub fn in_flight(&self) -> usize {
+        self.shared.state.lock().ready.len()
+    }
+
+    /// Configured queue depth.
+    pub fn queue_depth(&self) -> usize {
+        self.queue_depth
+    }
+}
+
+impl Drop for ReaderMaster {
+    fn drop(&mut self) {
+        {
+            let mut inner = self.shared.state.lock();
+            inner.shutdown = true;
+        }
+        self.shared.cond.notify_all();
+        for h in self.workers.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared, dataset: &SyntheticDataset, queue_depth: usize) {
+    loop {
+        // Claim the next index, respecting budget and queue depth.
+        let idx = {
+            let mut inner = shared.state.lock();
+            loop {
+                if inner.shutdown {
+                    return;
+                }
+                let within_budget = inner.next_to_generate < inner.budget_end;
+                let within_depth =
+                    inner.next_to_generate - inner.next_to_emit < queue_depth as u64;
+                if within_budget && within_depth {
+                    let idx = inner.next_to_generate;
+                    inner.next_to_generate += 1;
+                    break idx;
+                }
+                shared.cond.wait(&mut inner);
+            }
+        };
+        // Generate outside the lock (the expensive part).
+        let batch = dataset.batch(idx);
+        {
+            let mut inner = shared.state.lock();
+            inner.ready.insert(idx, batch);
+        }
+        shared.cond.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnr_workload::DatasetSpec;
+
+    fn dataset() -> SyntheticDataset {
+        SyntheticDataset::new(DatasetSpec::tiny(11))
+    }
+
+    #[test]
+    fn delivers_batches_in_order() {
+        let reader = ReaderMaster::new(
+            dataset(),
+            ReaderConfig {
+                workers: 4,
+                queue_depth: 4,
+            },
+        );
+        reader.extend_budget(20);
+        for i in 0..20u64 {
+            let b = reader.next_batch();
+            assert_eq!(b.index, i, "out-of-order delivery");
+        }
+    }
+
+    #[test]
+    fn batches_match_direct_generation() {
+        let ds = dataset();
+        let reader = ReaderMaster::new(ds.clone(), ReaderConfig::default());
+        reader.extend_budget(5);
+        for i in 0..5u64 {
+            assert_eq!(reader.next_batch(), ds.batch(i));
+        }
+    }
+
+    #[test]
+    fn collect_state_after_drain() {
+        let reader = ReaderMaster::new(dataset(), ReaderConfig::default());
+        reader.extend_budget(7);
+        for _ in 0..7 {
+            reader.next_batch();
+        }
+        let state = reader.collect_state();
+        assert_eq!(state.next_batch, 7);
+        assert_eq!(reader.in_flight(), 0, "no in-flight batches at checkpoint");
+        assert_eq!(reader.remaining_budget(), 0);
+    }
+
+    #[test]
+    fn resume_from_state_continues_stream() {
+        let ds = dataset();
+        // First run: consume 6 batches, checkpoint.
+        let state = {
+            let reader = ReaderMaster::new(ds.clone(), ReaderConfig::default());
+            reader.extend_budget(6);
+            for _ in 0..6 {
+                reader.next_batch();
+            }
+            reader.collect_state()
+        };
+        // Second run: restore, read 3 more — identical to direct batches 6..9.
+        let reader = ReaderMaster::from_state(ds.clone(), state, ReaderConfig::default());
+        reader.extend_budget(3);
+        for i in 6..9u64 {
+            assert_eq!(reader.next_batch(), ds.batch(i));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the checkpoint budget")]
+    fn overconsuming_budget_panics() {
+        let reader = ReaderMaster::new(dataset(), ReaderConfig::default());
+        reader.extend_budget(1);
+        reader.next_batch();
+        reader.next_batch(); // one too many
+    }
+
+    #[test]
+    fn workers_respect_queue_depth() {
+        let reader = ReaderMaster::new(
+            dataset(),
+            ReaderConfig {
+                workers: 4,
+                queue_depth: 3,
+            },
+        );
+        reader.extend_budget(100);
+        // Give workers time to run ahead as far as they can.
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        assert!(
+            reader.in_flight() <= 3,
+            "workers overran queue depth: {}",
+            reader.in_flight()
+        );
+        // Drain everything to let Drop shut down cleanly.
+        for _ in 0..100 {
+            reader.next_batch();
+        }
+    }
+
+    #[test]
+    fn budget_extension_resumes_stalled_workers() {
+        let reader = ReaderMaster::new(dataset(), ReaderConfig::default());
+        reader.extend_budget(2);
+        reader.next_batch();
+        reader.next_batch();
+        let state = reader.collect_state();
+        assert_eq!(state.next_batch, 2);
+        // Extend and keep going.
+        reader.extend_budget(2);
+        assert_eq!(reader.next_batch().index, 2);
+        assert_eq!(reader.next_batch().index, 3);
+    }
+
+    #[test]
+    fn shutdown_on_drop_does_not_hang() {
+        let reader = ReaderMaster::new(
+            dataset(),
+            ReaderConfig {
+                workers: 4,
+                queue_depth: 2,
+            },
+        );
+        reader.extend_budget(100);
+        reader.next_batch();
+        drop(reader); // workers blocked on depth/budget must exit
+    }
+
+    #[test]
+    fn many_interval_cycles_stay_consistent() {
+        // Simulates the paper's steady state: N batches, checkpoint, repeat.
+        let ds = dataset();
+        let reader = ReaderMaster::new(ds.clone(), ReaderConfig::default());
+        let mut expected = 0u64;
+        for _interval in 0..5 {
+            reader.extend_budget(10);
+            for _ in 0..10 {
+                let b = reader.next_batch();
+                assert_eq!(b.index, expected);
+                expected += 1;
+            }
+            let st = reader.collect_state();
+            assert_eq!(st.next_batch, expected);
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! A fault-injecting store wrapper.
+//!
+//! Remote storage fails: requests time out, replicas reject writes, racks
+//! lose power. The controller's validity rule (§4.4: a checkpoint is
+//! declared valid only when *every* node finishes storing successfully)
+//! only matters if failures actually reach the writer pipeline, so tests
+//! wrap their store in [`FlakyStore`] to inject deterministic failures.
+
+use crate::{ObjectMeta, ObjectStore, PutReceipt, Result, StorageError};
+use bytes::Bytes;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// When the wrapper injects put failures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailureMode {
+    /// Fail every `n`-th put (1-based). `n = 0` disables injection.
+    Every(u64),
+    /// Fail the first `n` puts, then heal (transient outage).
+    FirstN(u64),
+}
+
+/// Wraps a store, injecting deterministic put failures: failures depend
+/// only on the operation count, so tests are reproducible.
+pub struct FlakyStore<S> {
+    inner: S,
+    mode: FailureMode,
+    puts: AtomicU64,
+    failures_injected: AtomicU64,
+}
+
+impl<S: ObjectStore> FlakyStore<S> {
+    /// Wraps `inner`, failing every `fail_every`-th put.
+    pub fn new(inner: S, fail_every: u64) -> Self {
+        Self::with_mode(inner, FailureMode::Every(fail_every))
+    }
+
+    /// Wraps `inner`, failing the first `n` puts (transient outage).
+    pub fn failing_first(inner: S, n: u64) -> Self {
+        Self::with_mode(inner, FailureMode::FirstN(n))
+    }
+
+    /// Wraps `inner` with an explicit failure mode.
+    pub fn with_mode(inner: S, mode: FailureMode) -> Self {
+        Self {
+            inner,
+            mode,
+            puts: AtomicU64::new(0),
+            failures_injected: AtomicU64::new(0),
+        }
+    }
+
+    /// The wrapped store.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+
+    /// Number of failures injected so far.
+    pub fn failures_injected(&self) -> u64 {
+        self.failures_injected.load(Ordering::Relaxed)
+    }
+}
+
+impl<S: ObjectStore> ObjectStore for FlakyStore<S> {
+    fn put(&self, key: &str, data: Bytes) -> Result<PutReceipt> {
+        let n = self.puts.fetch_add(1, Ordering::Relaxed) + 1;
+        let fail = match self.mode {
+            FailureMode::Every(every) => every > 0 && n.is_multiple_of(every),
+            FailureMode::FirstN(first) => n <= first,
+        };
+        if fail {
+            self.failures_injected.fetch_add(1, Ordering::Relaxed);
+            return Err(StorageError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                format!("injected failure on put #{n} ({key})"),
+            )));
+        }
+        self.inner.put(key, data)
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes> {
+        self.inner.get(key)
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.inner.delete(key)
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.inner.list(prefix)
+    }
+
+    fn head(&self, key: &str) -> Result<ObjectMeta> {
+        self.inner.head(key)
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.inner.total_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::InMemoryStore;
+
+    #[test]
+    fn fails_exactly_every_nth_put() {
+        let store = FlakyStore::new(InMemoryStore::new(), 3);
+        let mut outcomes = Vec::new();
+        for i in 0..9 {
+            outcomes.push(store.put(&format!("k{i}"), Bytes::from_static(b"x")).is_ok());
+        }
+        assert_eq!(
+            outcomes,
+            vec![true, true, false, true, true, false, true, true, false]
+        );
+        assert_eq!(store.failures_injected(), 3);
+    }
+
+    #[test]
+    fn zero_disables_injection() {
+        let store = FlakyStore::new(InMemoryStore::new(), 0);
+        for i in 0..10 {
+            store.put(&format!("k{i}"), Bytes::from_static(b"x")).unwrap();
+        }
+        assert_eq!(store.failures_injected(), 0);
+    }
+
+    #[test]
+    fn first_n_mode_heals() {
+        let store = FlakyStore::failing_first(InMemoryStore::new(), 2);
+        assert!(store.put("a", Bytes::from_static(b"x")).is_err());
+        assert!(store.put("b", Bytes::from_static(b"x")).is_err());
+        assert!(store.put("c", Bytes::from_static(b"x")).is_ok());
+        assert!(store.put("d", Bytes::from_static(b"x")).is_ok());
+        assert_eq!(store.failures_injected(), 2);
+    }
+
+    #[test]
+    fn reads_pass_through() {
+        let store = FlakyStore::new(InMemoryStore::new(), 2);
+        store.put("a", Bytes::from_static(b"1")).unwrap();
+        assert_eq!(store.get("a").unwrap(), Bytes::from_static(b"1"));
+        assert_eq!(store.total_bytes(), 1);
+        assert_eq!(store.list("").unwrap(), vec!["a".to_string()]);
+    }
+}

@@ -1,0 +1,266 @@
+//! Filesystem-backed object store.
+//!
+//! Keys map to paths under a root directory. Writes are atomic (temp file in
+//! the same directory, then rename) so a crashed writer never leaves a
+//! half-written checkpoint chunk visible — the same guarantee the paper's
+//! controller relies on when it declares a checkpoint valid only after all
+//! nodes finish storing (§4.4).
+
+use crate::{ObjectMeta, ObjectStore, PutReceipt, Result, StorageError};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::fs;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
+
+/// Object store rooted at a directory.
+#[derive(Debug)]
+pub struct FsStore {
+    root: PathBuf,
+    /// Serializes writers of the same key (rename is atomic, but two writers
+    /// racing the same temp name would collide).
+    write_lock: Mutex<()>,
+    counter: std::sync::atomic::AtomicU64,
+}
+
+impl FsStore {
+    /// Opens (creating if needed) a store rooted at `root`.
+    pub fn open(root: impl Into<PathBuf>) -> Result<Self> {
+        let root = root.into();
+        fs::create_dir_all(&root)?;
+        Ok(Self {
+            root,
+            write_lock: Mutex::new(()),
+            counter: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// Root directory of the store.
+    pub fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn path_for(&self, key: &str) -> Result<PathBuf> {
+        validate_key(key)?;
+        Ok(self.root.join(key))
+    }
+}
+
+/// Rejects keys that would escape the root or collide with temp files.
+fn validate_key(key: &str) -> Result<()> {
+    if key.is_empty() || key.len() > 512 {
+        return Err(StorageError::InvalidKey(key.to_string()));
+    }
+    for part in key.split('/') {
+        if part.is_empty() || part == "." || part == ".." || part.starts_with(".tmp-") {
+            return Err(StorageError::InvalidKey(key.to_string()));
+        }
+    }
+    if key.contains('\\') || key.starts_with('/') {
+        return Err(StorageError::InvalidKey(key.to_string()));
+    }
+    Ok(())
+}
+
+impl ObjectStore for FsStore {
+    fn put(&self, key: &str, data: Bytes) -> Result<PutReceipt> {
+        let path = self.path_for(key)?;
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let _guard = self.write_lock.lock();
+        let tmp_name = format!(
+            ".tmp-{}-{}",
+            std::process::id(),
+            self.counter
+                .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+        );
+        let tmp_path = path
+            .parent()
+            .unwrap_or(&self.root)
+            .join(tmp_name);
+        {
+            let mut f = fs::File::create(&tmp_path)?;
+            f.write_all(&data)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp_path, &path)?;
+        Ok(PutReceipt {
+            key: key.to_string(),
+            bytes: data.len() as u64,
+            transfer_time: Duration::ZERO,
+            completed_at: Duration::ZERO,
+        })
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes> {
+        let path = self.path_for(key)?;
+        match fs::read(&path) {
+            Ok(data) => Ok(Bytes::from(data)),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StorageError::NotFound(key.to_string()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        let path = self.path_for(key)?;
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StorageError::NotFound(key.to_string()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        let mut keys = Vec::new();
+        collect_keys(&self.root, &self.root, &mut keys)?;
+        keys.retain(|k| k.starts_with(prefix));
+        keys.sort();
+        Ok(keys)
+    }
+
+    fn head(&self, key: &str) -> Result<ObjectMeta> {
+        let path = self.path_for(key)?;
+        match fs::metadata(&path) {
+            Ok(m) if m.is_file() => Ok(ObjectMeta {
+                key: key.to_string(),
+                size: m.len(),
+            }),
+            Ok(_) => Err(StorageError::NotFound(key.to_string())),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+                Err(StorageError::NotFound(key.to_string()))
+            }
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    fn total_bytes(&self) -> u64 {
+        let mut total = 0u64;
+        let mut stack = vec![self.root.clone()];
+        while let Some(dir) = stack.pop() {
+            let Ok(entries) = fs::read_dir(&dir) else {
+                continue;
+            };
+            for entry in entries.flatten() {
+                let path = entry.path();
+                if path.is_dir() {
+                    stack.push(path);
+                } else if let Ok(m) = entry.metadata() {
+                    if !entry.file_name().to_string_lossy().starts_with(".tmp-") {
+                        total += m.len();
+                    }
+                }
+            }
+        }
+        total
+    }
+}
+
+/// Recursively collects object keys (relative paths) under `dir`.
+fn collect_keys(root: &Path, dir: &Path, keys: &mut Vec<String>) -> Result<()> {
+    let entries = match fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(()),
+        Err(e) => return Err(e.into()),
+    };
+    for entry in entries {
+        let entry = entry?;
+        let path = entry.path();
+        if path.is_dir() {
+            collect_keys(root, &path, keys)?;
+        } else {
+            let name = entry.file_name();
+            if name.to_string_lossy().starts_with(".tmp-") {
+                continue;
+            }
+            if let Ok(rel) = path.strip_prefix(root) {
+                keys.push(rel.to_string_lossy().replace('\\', "/"));
+            }
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_store(tag: &str) -> FsStore {
+        let dir = std::env::temp_dir().join(format!(
+            "cnr-fsstore-{tag}-{}-{}",
+            std::process::id(),
+            std::time::SystemTime::now()
+                .duration_since(std::time::UNIX_EPOCH)
+                .unwrap()
+                .as_nanos()
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        FsStore::open(dir).unwrap()
+    }
+
+    #[test]
+    fn conformance() {
+        let store = temp_store("conf");
+        crate::trait_tests::conformance(&store);
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn rejects_path_escapes() {
+        let store = temp_store("escape");
+        for bad in ["../evil", "a/../../b", "/abs", "a//b", "", "a/.tmp-x"] {
+            assert!(
+                matches!(
+                    store.put(bad, Bytes::from_static(b"x")),
+                    Err(StorageError::InvalidKey(_))
+                ),
+                "key {bad:?} should be rejected"
+            );
+        }
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn nested_keys_create_directories() {
+        let store = temp_store("nest");
+        store
+            .put("job/ckpt-0001/chunk-00042", Bytes::from_static(b"data"))
+            .unwrap();
+        assert_eq!(
+            store.get("job/ckpt-0001/chunk-00042").unwrap(),
+            Bytes::from_static(b"data")
+        );
+        assert_eq!(
+            store.list("job/ckpt-0001/").unwrap(),
+            vec!["job/ckpt-0001/chunk-00042".to_string()]
+        );
+        let _ = fs::remove_dir_all(store.root());
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let store = temp_store("reopen");
+        let root = store.root().to_path_buf();
+        store.put("persist/me", Bytes::from_static(b"123")).unwrap();
+        drop(store);
+        let store2 = FsStore::open(&root).unwrap();
+        assert_eq!(store2.get("persist/me").unwrap(), Bytes::from_static(b"123"));
+        let _ = fs::remove_dir_all(root);
+    }
+
+    #[test]
+    fn temp_files_invisible_to_list_and_capacity() {
+        let store = temp_store("tmpvis");
+        store.put("real", Bytes::from_static(b"1234")).unwrap();
+        // Simulate a leftover temp file from a crashed writer.
+        fs::write(store.root().join(".tmp-999-0"), b"junk").unwrap();
+        assert_eq!(store.list("").unwrap(), vec!["real".to_string()]);
+        assert_eq!(store.total_bytes(), 4);
+        let _ = fs::remove_dir_all(store.root());
+    }
+}

@@ -1,0 +1,173 @@
+//! Object storage substrate for checkpoint data.
+//!
+//! Check-N-Run writes checkpoints to *remote* object storage (§2.2, §4) —
+//! replicated, highly available, and most importantly **bandwidth-bound**:
+//! the paper's whole point is that write bandwidth and capacity are the
+//! bottleneck resources (§4.3). This crate provides:
+//!
+//! * [`ObjectStore`] — the minimal blob-store interface the checkpoint
+//!   engine needs (put/get/delete/list/head).
+//! * [`memory::InMemoryStore`] — fast backend for tests.
+//! * [`fs::FsStore`] — filesystem backend with atomic writes (temp file +
+//!   rename), for durable local runs.
+//! * [`remote::SimulatedRemoteStore`] — the experiment backend: wraps any
+//!   store with a serialized transfer channel of configurable bandwidth,
+//!   per-object latency, and replication write-amplification, all accounted
+//!   against a shared [`cnr_cluster::SimClock`]. Transfer completion times
+//!   are what Figures 15–17 measure.
+//! * [`metrics::StoreMetrics`] — byte/operation accounting and a capacity
+//!   timeline.
+
+pub mod flaky;
+pub mod fs;
+pub mod memory;
+pub mod metrics;
+pub mod remote;
+
+pub use flaky::FlakyStore;
+pub use fs::FsStore;
+pub use memory::InMemoryStore;
+pub use metrics::{CapacityPoint, StoreMetrics};
+pub use remote::{RemoteConfig, SimulatedRemoteStore};
+
+use bytes::Bytes;
+use std::time::Duration;
+
+/// Errors returned by object stores.
+#[derive(Debug)]
+pub enum StorageError {
+    /// The requested key does not exist.
+    NotFound(String),
+    /// An underlying I/O failure (filesystem backend).
+    Io(std::io::Error),
+    /// The key is syntactically unacceptable to this backend.
+    InvalidKey(String),
+}
+
+impl std::fmt::Display for StorageError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StorageError::NotFound(k) => write!(f, "object not found: {k}"),
+            StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
+            StorageError::InvalidKey(k) => write!(f, "invalid object key: {k}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StorageError {
+    fn from(e: std::io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+/// Metadata of a stored object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ObjectMeta {
+    /// Object key.
+    pub key: String,
+    /// Payload size in bytes (logical, before replication).
+    pub size: u64,
+}
+
+/// Receipt returned by [`ObjectStore::put`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PutReceipt {
+    /// Object key.
+    pub key: String,
+    /// Logical bytes written.
+    pub bytes: u64,
+    /// Time the transfer occupied the storage channel (zero for local
+    /// backends).
+    pub transfer_time: Duration,
+    /// Absolute simulated time at which the object became durable (zero for
+    /// local backends, which are instantaneous).
+    pub completed_at: Duration,
+}
+
+/// A blob store for checkpoint chunks and manifests.
+///
+/// All methods are `&self`: stores are shared across the background writer
+/// threads of the checkpoint pipeline.
+pub trait ObjectStore: Send + Sync {
+    /// Stores `data` under `key`, overwriting any previous object.
+    fn put(&self, key: &str, data: Bytes) -> Result<PutReceipt>;
+
+    /// Retrieves the object at `key`.
+    fn get(&self, key: &str) -> Result<Bytes>;
+
+    /// Deletes the object at `key`. Deleting a missing key is an error —
+    /// the checkpoint controller tracks what it owns, and a failed delete of
+    /// a tracked object means bookkeeping has diverged.
+    fn delete(&self, key: &str) -> Result<()>;
+
+    /// Lists keys with the given prefix, in lexicographic order.
+    fn list(&self, prefix: &str) -> Result<Vec<String>>;
+
+    /// Metadata of the object at `key` without fetching the payload.
+    fn head(&self, key: &str) -> Result<ObjectMeta>;
+
+    /// Sum of logical object sizes currently held (capacity accounting).
+    fn total_bytes(&self) -> u64;
+}
+
+#[cfg(test)]
+mod trait_tests {
+    //! Conformance suite run against every backend.
+    use super::*;
+
+    pub(crate) fn conformance(store: &dyn ObjectStore) {
+        // put / get roundtrip
+        let r = store.put("a/b/obj1", Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(r.bytes, 5);
+        assert_eq!(store.get("a/b/obj1").unwrap(), Bytes::from_static(b"hello"));
+
+        // overwrite
+        store.put("a/b/obj1", Bytes::from_static(b"world!")).unwrap();
+        assert_eq!(store.get("a/b/obj1").unwrap().len(), 6);
+
+        // head
+        let m = store.head("a/b/obj1").unwrap();
+        assert_eq!(m.size, 6);
+
+        // list with prefix
+        store.put("a/b/obj2", Bytes::from_static(b"x")).unwrap();
+        store.put("c/other", Bytes::from_static(b"y")).unwrap();
+        let keys = store.list("a/b/").unwrap();
+        assert_eq!(keys, vec!["a/b/obj1".to_string(), "a/b/obj2".to_string()]);
+
+        // capacity
+        assert_eq!(store.total_bytes(), 6 + 1 + 1);
+
+        // delete
+        store.delete("a/b/obj1").unwrap();
+        assert!(matches!(
+            store.get("a/b/obj1"),
+            Err(StorageError::NotFound(_))
+        ));
+        assert!(matches!(
+            store.delete("a/b/obj1"),
+            Err(StorageError::NotFound(_))
+        ));
+        assert_eq!(store.total_bytes(), 2);
+
+        // missing key errors
+        assert!(matches!(store.get("nope"), Err(StorageError::NotFound(_))));
+        assert!(matches!(store.head("nope"), Err(StorageError::NotFound(_))));
+
+        // empty object
+        store.put("empty", Bytes::new()).unwrap();
+        assert_eq!(store.get("empty").unwrap().len(), 0);
+    }
+}

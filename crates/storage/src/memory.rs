@@ -1,0 +1,143 @@
+//! In-memory object store (tests, analysis runs, and the backing store of
+//! the simulated remote).
+
+use crate::{ObjectMeta, ObjectStore, PutReceipt, Result, StorageError};
+use bytes::Bytes;
+use parking_lot::RwLock;
+use std::collections::BTreeMap;
+use std::time::Duration;
+
+/// A thread-safe in-memory blob store backed by a `BTreeMap` (so prefix
+/// listing is ordered and cheap).
+#[derive(Debug, Default)]
+pub struct InMemoryStore {
+    objects: RwLock<BTreeMap<String, Bytes>>,
+}
+
+impl InMemoryStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of objects held.
+    pub fn len(&self) -> usize {
+        self.objects.read().len()
+    }
+
+    /// True when the store holds no objects.
+    pub fn is_empty(&self) -> bool {
+        self.objects.read().is_empty()
+    }
+}
+
+impl ObjectStore for InMemoryStore {
+    fn put(&self, key: &str, data: Bytes) -> Result<PutReceipt> {
+        if key.is_empty() {
+            return Err(StorageError::InvalidKey("empty key".into()));
+        }
+        let bytes = data.len() as u64;
+        self.objects.write().insert(key.to_string(), data);
+        Ok(PutReceipt {
+            key: key.to_string(),
+            bytes,
+            transfer_time: Duration::ZERO,
+            completed_at: Duration::ZERO,
+        })
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes> {
+        self.objects
+            .read()
+            .get(key)
+            .cloned()
+            .ok_or_else(|| StorageError::NotFound(key.to_string()))
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.objects
+            .write()
+            .remove(key)
+            .map(|_| ())
+            .ok_or_else(|| StorageError::NotFound(key.to_string()))
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        Ok(self
+            .objects
+            .read()
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, _)| k.clone())
+            .collect())
+    }
+
+    fn head(&self, key: &str) -> Result<ObjectMeta> {
+        self.objects
+            .read()
+            .get(key)
+            .map(|v| ObjectMeta {
+                key: key.to_string(),
+                size: v.len() as u64,
+            })
+            .ok_or_else(|| StorageError::NotFound(key.to_string()))
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.objects.read().values().map(|v| v.len() as u64).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conformance() {
+        let store = InMemoryStore::new();
+        crate::trait_tests::conformance(&store);
+    }
+
+    #[test]
+    fn empty_key_rejected() {
+        let store = InMemoryStore::new();
+        assert!(matches!(
+            store.put("", Bytes::from_static(b"x")),
+            Err(StorageError::InvalidKey(_))
+        ));
+    }
+
+    #[test]
+    fn concurrent_puts_are_safe() {
+        use std::sync::Arc;
+        let store = Arc::new(InMemoryStore::new());
+        let mut handles = Vec::new();
+        for t in 0..8 {
+            let store = Arc::clone(&store);
+            handles.push(std::thread::spawn(move || {
+                for i in 0..100 {
+                    store
+                        .put(&format!("t{t}/obj{i}"), Bytes::from(vec![0u8; 10]))
+                        .unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(store.len(), 800);
+        assert_eq!(store.total_bytes(), 8000);
+    }
+
+    #[test]
+    fn list_prefix_boundaries() {
+        let store = InMemoryStore::new();
+        store.put("a", Bytes::from_static(b"1")).unwrap();
+        store.put("a/x", Bytes::from_static(b"1")).unwrap();
+        store.put("ab", Bytes::from_static(b"1")).unwrap();
+        // Prefix "a/" matches only "a/x", not "a" or "ab".
+        assert_eq!(store.list("a/").unwrap(), vec!["a/x".to_string()]);
+        // Prefix "a" matches all three.
+        assert_eq!(store.list("a").unwrap().len(), 3);
+    }
+}

@@ -1,0 +1,264 @@
+//! Bandwidth-simulated remote object store.
+//!
+//! The paper's checkpoints go to remote storage whose *write bandwidth* is
+//! the limiting resource (§4.3): "two consecutive checkpoints cannot
+//! overlap, and writing of the current checkpoint must be completed or
+//! cancelled before a new checkpoint can be created. That way, the current
+//! checkpoint can utilize all available resources."
+//!
+//! [`SimulatedRemoteStore`] models exactly that regime: a single serialized
+//! transfer channel with configurable bandwidth and per-object latency.
+//! Each `put` reserves the channel from `max(now, channel_free)` for
+//! `latency + replicated_bytes/bandwidth` and reports when the object became
+//! durable. The global [`SimClock`] is *not* advanced by writes — uploads
+//! run in background CPU processes while training continues (§4.2); the
+//! checkpoint controller decides when it must wait (non-overlap rule) and
+//! advances the clock then.
+
+use crate::metrics::StoreMetrics;
+use crate::{InMemoryStore, ObjectMeta, ObjectStore, PutReceipt, Result};
+use bytes::Bytes;
+use cnr_cluster::SimClock;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration of the simulated remote store.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RemoteConfig {
+    /// Sustained write bandwidth in bytes/second (shared channel).
+    pub bandwidth_bytes_per_sec: f64,
+    /// Fixed per-object latency (request + commit round trips).
+    pub base_latency: Duration,
+    /// Replication factor: physical bytes written = logical × replication.
+    pub replication: u32,
+}
+
+impl Default for RemoteConfig {
+    fn default() -> Self {
+        Self {
+            // A deliberately constrained per-job share of a storage cluster:
+            // the regime the paper operates in.
+            bandwidth_bytes_per_sec: 256.0 * 1024.0 * 1024.0,
+            base_latency: Duration::from_millis(20),
+            replication: 3,
+        }
+    }
+}
+
+/// A remote store: in-memory contents plus transfer-time simulation.
+pub struct SimulatedRemoteStore {
+    inner: InMemoryStore,
+    config: RemoteConfig,
+    clock: SimClock,
+    /// Absolute simulated time at which the transfer channel becomes free.
+    channel_free_at: Mutex<Duration>,
+    metrics: Arc<StoreMetrics>,
+}
+
+impl SimulatedRemoteStore {
+    /// Creates a remote store on the given clock.
+    pub fn new(config: RemoteConfig, clock: SimClock) -> Self {
+        assert!(
+            config.bandwidth_bytes_per_sec > 0.0,
+            "bandwidth must be positive"
+        );
+        assert!(config.replication >= 1, "replication must be >= 1");
+        Self {
+            inner: InMemoryStore::new(),
+            config,
+            clock,
+            channel_free_at: Mutex::new(Duration::ZERO),
+            metrics: Arc::new(StoreMetrics::new()),
+        }
+    }
+
+    /// The store's metrics handle.
+    pub fn metrics(&self) -> Arc<StoreMetrics> {
+        Arc::clone(&self.metrics)
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> RemoteConfig {
+        self.config
+    }
+
+    /// Absolute time at which all issued transfers will have completed.
+    pub fn drained_at(&self) -> Duration {
+        *self.channel_free_at.lock()
+    }
+
+    /// Blocks (in simulated time) until all issued transfers complete:
+    /// advances the shared clock to [`SimulatedRemoteStore::drained_at`].
+    /// This is the controller's non-overlap wait.
+    pub fn wait_for_drain(&self) -> Duration {
+        let t = self.drained_at();
+        self.clock.advance_to(t);
+        t
+    }
+
+    /// Transfer time for `bytes` logical bytes under this configuration.
+    pub fn transfer_time(&self, bytes: u64) -> Duration {
+        let physical = bytes.saturating_mul(self.config.replication as u64);
+        self.config.base_latency
+            + Duration::from_secs_f64(physical as f64 / self.config.bandwidth_bytes_per_sec)
+    }
+
+    fn physical_bytes(&self) -> u64 {
+        self.inner.total_bytes() * self.config.replication as u64
+    }
+}
+
+impl ObjectStore for SimulatedRemoteStore {
+    fn put(&self, key: &str, data: Bytes) -> Result<PutReceipt> {
+        let bytes = data.len() as u64;
+        let transfer = self.transfer_time(bytes);
+        // Reserve the serialized channel.
+        let completed_at = {
+            let mut free_at = self.channel_free_at.lock();
+            let start = (*free_at).max(self.clock.now());
+            let end = start + transfer;
+            *free_at = end;
+            end
+        };
+        let receipt_inner = self.inner.put(key, data)?;
+        self.metrics.record_put(bytes, transfer);
+        self.metrics.record_capacity(
+            completed_at,
+            self.inner.total_bytes(),
+            self.physical_bytes(),
+        );
+        Ok(PutReceipt {
+            key: receipt_inner.key,
+            bytes,
+            transfer_time: transfer,
+            completed_at,
+        })
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes> {
+        let data = self.inner.get(key)?;
+        self.metrics.record_get(data.len() as u64);
+        Ok(data)
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.inner.delete(key)?;
+        self.metrics.record_delete();
+        self.metrics.record_capacity(
+            self.clock.now(),
+            self.inner.total_bytes(),
+            self.physical_bytes(),
+        );
+        Ok(())
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.inner.list(prefix)
+    }
+
+    fn head(&self, key: &str) -> Result<ObjectMeta> {
+        self.inner.head(key)
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.inner.total_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mb(n: u64) -> Bytes {
+        Bytes::from(vec![0u8; (n * 1024 * 1024) as usize])
+    }
+
+    fn store_with(bw_mbps: f64, latency_ms: u64, repl: u32) -> (SimulatedRemoteStore, SimClock) {
+        let clock = SimClock::new();
+        let store = SimulatedRemoteStore::new(
+            RemoteConfig {
+                bandwidth_bytes_per_sec: bw_mbps * 1024.0 * 1024.0,
+                base_latency: Duration::from_millis(latency_ms),
+                replication: repl,
+            },
+            clock.clone(),
+        );
+        (store, clock)
+    }
+
+    #[test]
+    fn conformance() {
+        let (store, _clock) = store_with(1000.0, 0, 1);
+        crate::trait_tests::conformance(&store);
+    }
+
+    #[test]
+    fn transfer_time_scales_with_size_and_replication() {
+        let (store, _clock) = store_with(100.0, 0, 1);
+        let t1 = store.transfer_time(100 * 1024 * 1024);
+        assert!((t1.as_secs_f64() - 1.0).abs() < 1e-6);
+
+        let (store3, _clock) = store_with(100.0, 0, 3);
+        let t3 = store3.transfer_time(100 * 1024 * 1024);
+        assert!((t3.as_secs_f64() - 3.0).abs() < 1e-6, "3x replication = 3x time");
+    }
+
+    #[test]
+    fn serialized_channel_queues_transfers() {
+        let (store, _clock) = store_with(100.0, 0, 1);
+        // Two 100 MB puts at 100 MB/s: first completes at 1s, second at 2s.
+        let r1 = store.put("a", mb(100)).unwrap();
+        let r2 = store.put("b", mb(100)).unwrap();
+        assert!((r1.completed_at.as_secs_f64() - 1.0).abs() < 1e-6);
+        assert!((r2.completed_at.as_secs_f64() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn puts_do_not_advance_global_clock() {
+        let (store, clock) = store_with(10.0, 0, 1);
+        store.put("a", mb(100)).unwrap(); // 10 seconds of transfer
+        assert_eq!(clock.now(), Duration::ZERO, "uploads run in background");
+    }
+
+    #[test]
+    fn wait_for_drain_advances_clock() {
+        let (store, clock) = store_with(100.0, 0, 1);
+        store.put("a", mb(100)).unwrap();
+        let t = store.wait_for_drain();
+        assert_eq!(clock.now(), t);
+        assert!((t.as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn channel_idles_until_clock_catches_up() {
+        let (store, clock) = store_with(100.0, 0, 1);
+        store.put("a", mb(100)).unwrap(); // busy until t=1s
+        clock.advance(Duration::from_secs(10)); // training continues
+        let r = store.put("b", mb(100)).unwrap();
+        // Channel was free at t=1s; put starts at now=10s, ends at 11s.
+        assert!((r.completed_at.as_secs_f64() - 11.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn base_latency_applies_per_object() {
+        let (store, _clock) = store_with(1000.0, 50, 1);
+        let r = store.put("tiny", Bytes::from_static(b"x")).unwrap();
+        assert!(r.transfer_time >= Duration::from_millis(50));
+    }
+
+    #[test]
+    fn metrics_track_bandwidth_and_capacity() {
+        let (store, _clock) = store_with(100.0, 0, 3);
+        store.put("a", mb(10)).unwrap();
+        store.put("b", mb(20)).unwrap();
+        store.delete("a").unwrap();
+        let snap = store.metrics().snapshot();
+        assert_eq!(snap.bytes_put, 30 * 1024 * 1024);
+        assert_eq!(snap.puts, 2);
+        assert_eq!(snap.deletes, 1);
+        let peak = store.metrics().peak_physical_bytes();
+        assert_eq!(peak, 3 * 30 * 1024 * 1024, "replication amplifies capacity");
+        assert_eq!(store.total_bytes(), 20 * 1024 * 1024);
+    }
+}

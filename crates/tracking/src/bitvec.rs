@@ -1,0 +1,400 @@
+//! Plain and atomic bit-vectors.
+//!
+//! Both store bits in 64-bit words. The atomic variant supports concurrent
+//! `set` from any number of threads with `Relaxed` ordering — marking is a
+//! monotonic, commutative operation (set-only between resets), so no ordering
+//! stronger than the eventual snapshot synchronization is required. The
+//! snapshot itself (`swap`/`load` in [`AtomicBitVec::snapshot`]) happens while
+//! the trainer is stalled at a batch boundary, which is the paper's
+//! consistency point (§4.2).
+
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A plain, cloneable bit-vector.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BitVec {
+    len: usize,
+    words: Vec<u64>,
+}
+
+impl BitVec {
+    /// Creates an all-zero bit-vector of `len` bits.
+    pub fn new(len: usize) -> Self {
+        Self {
+            len,
+            words: vec![0; len.div_ceil(64)],
+        }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the vector has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`.
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        self.words[i / 64] |= 1u64 << (i % 64);
+    }
+
+    /// Clears bit `i`.
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Reads bit `i`.
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        (self.words[i / 64] >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Fraction of bits set, in `[0, 1]`. Zero-length vectors report 0.
+    pub fn fraction_set(&self) -> f64 {
+        if self.len == 0 {
+            0.0
+        } else {
+            self.count_ones() as f64 / self.len as f64
+        }
+    }
+
+    /// Sets every bit that is set in `other`. Lengths must match.
+    pub fn union_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "union of mismatched lengths");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w |= o;
+        }
+    }
+
+    /// Keeps only bits set in both. Lengths must match.
+    pub fn intersect_with(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "intersect of mismatched lengths");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= o;
+        }
+    }
+
+    /// Clears bits that are set in `other` (set difference). Lengths must match.
+    pub fn subtract(&mut self, other: &BitVec) {
+        assert_eq!(self.len, other.len, "subtract of mismatched lengths");
+        for (w, o) in self.words.iter_mut().zip(&other.words) {
+            *w &= !o;
+        }
+    }
+
+    /// Resets every bit to zero.
+    pub fn clear_all(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Iterates over the indices of set bits in ascending order.
+    pub fn iter_ones(&self) -> IterOnes<'_> {
+        IterOnes {
+            bv: self,
+            word_idx: 0,
+            current: self.words.first().copied().unwrap_or(0),
+        }
+    }
+
+    /// Raw words (little-endian bit order within each word).
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Rebuilds from raw words. Extra high bits in the last word must be zero.
+    pub fn from_words(len: usize, words: Vec<u64>) -> Option<Self> {
+        if words.len() != len.div_ceil(64) {
+            return None;
+        }
+        if !len.is_multiple_of(64) {
+            if let Some(last) = words.last() {
+                if last >> (len % 64) != 0 {
+                    return None;
+                }
+            }
+        }
+        Some(Self { len, words })
+    }
+
+    /// In-memory footprint of the bit data in bytes.
+    pub fn byte_size(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+/// Iterator over set-bit indices of a [`BitVec`].
+pub struct IterOnes<'a> {
+    bv: &'a BitVec,
+    word_idx: usize,
+    current: u64,
+}
+
+impl Iterator for IterOnes<'_> {
+    type Item = usize;
+
+    fn next(&mut self) -> Option<usize> {
+        loop {
+            if self.current != 0 {
+                let tz = self.current.trailing_zeros() as usize;
+                self.current &= self.current - 1; // clear lowest set bit
+                return Some(self.word_idx * 64 + tz);
+            }
+            self.word_idx += 1;
+            if self.word_idx >= self.bv.words.len() {
+                return None;
+            }
+            self.current = self.bv.words[self.word_idx];
+        }
+    }
+}
+
+/// A bit-vector supporting concurrent `set` from multiple threads.
+#[derive(Debug)]
+pub struct AtomicBitVec {
+    len: usize,
+    words: Vec<AtomicU64>,
+}
+
+impl AtomicBitVec {
+    /// Creates an all-zero atomic bit-vector of `len` bits.
+    pub fn new(len: usize) -> Self {
+        let mut words = Vec::with_capacity(len.div_ceil(64));
+        words.resize_with(len.div_ceil(64), || AtomicU64::new(0));
+        Self { len, words }
+    }
+
+    /// Number of bits.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the vector has zero bits.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Sets bit `i`. Safe to call from any thread; relaxed ordering is
+    /// sufficient because marking is monotonic between snapshots.
+    #[inline]
+    pub fn set(&self, i: usize) {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        self.words[i / 64].fetch_or(1u64 << (i % 64), Ordering::Relaxed);
+    }
+
+    /// Reads bit `i` (racy with concurrent setters, exact when quiesced).
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        (self.words[i / 64].load(Ordering::Relaxed) >> (i % 64)) & 1 == 1
+    }
+
+    /// Number of set bits (exact only when no concurrent setters).
+    pub fn count_ones(&self) -> usize {
+        self.words
+            .iter()
+            .map(|w| w.load(Ordering::Relaxed).count_ones() as usize)
+            .sum()
+    }
+
+    /// Copies the current contents into a plain [`BitVec`].
+    pub fn snapshot(&self) -> BitVec {
+        let words = self
+            .words
+            .iter()
+            .map(|w| w.load(Ordering::Acquire))
+            .collect();
+        BitVec {
+            len: self.len,
+            words,
+        }
+    }
+
+    /// Atomically (per word) reads out the contents and resets them to zero.
+    ///
+    /// Must be called while trainers are quiesced at a batch boundary —
+    /// per-word atomicity then composes into a consistent whole-vector
+    /// snapshot, exactly as in the paper's stall-and-snapshot design.
+    pub fn snapshot_and_reset(&self) -> BitVec {
+        let words = self
+            .words
+            .iter()
+            .map(|w| w.swap(0, Ordering::AcqRel))
+            .collect();
+        BitVec {
+            len: self.len,
+            words,
+        }
+    }
+
+    /// Resets every bit to zero.
+    pub fn clear_all(&self) {
+        for w in &self.words {
+            w.store(0, Ordering::Release);
+        }
+    }
+
+    /// In-memory footprint of the bit data in bytes. The paper reports this
+    /// is "typically less than 0.05%" of the model; see
+    /// `tracker::ModificationTracker::overhead_fraction`.
+    pub fn byte_size(&self) -> usize {
+        self.words.len() * 8
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut bv = BitVec::new(130);
+        assert!(!bv.get(0));
+        bv.set(0);
+        bv.set(63);
+        bv.set(64);
+        bv.set(129);
+        assert!(bv.get(0) && bv.get(63) && bv.get(64) && bv.get(129));
+        assert_eq!(bv.count_ones(), 4);
+        bv.clear(63);
+        assert!(!bv.get(63));
+        assert_eq!(bv.count_ones(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_panics() {
+        let bv = BitVec::new(10);
+        bv.get(10);
+    }
+
+    #[test]
+    fn iter_ones_in_order() {
+        let mut bv = BitVec::new(200);
+        for i in [3usize, 64, 65, 127, 128, 199] {
+            bv.set(i);
+        }
+        let ones: Vec<usize> = bv.iter_ones().collect();
+        assert_eq!(ones, vec![3, 64, 65, 127, 128, 199]);
+    }
+
+    #[test]
+    fn iter_ones_empty_and_full() {
+        let bv = BitVec::new(77);
+        assert_eq!(bv.iter_ones().count(), 0);
+        let mut full = BitVec::new(77);
+        for i in 0..77 {
+            full.set(i);
+        }
+        assert_eq!(full.iter_ones().count(), 77);
+        assert!((full.fraction_set() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn union_intersect_subtract() {
+        let mut a = BitVec::new(70);
+        let mut b = BitVec::new(70);
+        a.set(1);
+        a.set(65);
+        b.set(65);
+        b.set(69);
+
+        let mut u = a.clone();
+        u.union_with(&b);
+        assert_eq!(u.iter_ones().collect::<Vec<_>>(), vec![1, 65, 69]);
+
+        let mut i = a.clone();
+        i.intersect_with(&b);
+        assert_eq!(i.iter_ones().collect::<Vec<_>>(), vec![65]);
+
+        let mut d = a.clone();
+        d.subtract(&b);
+        assert_eq!(d.iter_ones().collect::<Vec<_>>(), vec![1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched lengths")]
+    fn union_length_mismatch_panics() {
+        let mut a = BitVec::new(10);
+        let b = BitVec::new(11);
+        a.union_with(&b);
+    }
+
+    #[test]
+    fn from_words_roundtrip() {
+        let mut bv = BitVec::new(100);
+        bv.set(0);
+        bv.set(99);
+        let rebuilt = BitVec::from_words(100, bv.words().to_vec()).unwrap();
+        assert_eq!(bv, rebuilt);
+    }
+
+    #[test]
+    fn from_words_rejects_garbage() {
+        // Wrong word count.
+        assert!(BitVec::from_words(100, vec![0; 1]).is_none());
+        // High bits beyond len set.
+        assert!(BitVec::from_words(65, vec![0, 0b100]).is_none());
+    }
+
+    #[test]
+    fn atomic_snapshot_and_reset() {
+        let abv = AtomicBitVec::new(100);
+        abv.set(5);
+        abv.set(99);
+        assert_eq!(abv.count_ones(), 2);
+        let snap = abv.snapshot_and_reset();
+        assert_eq!(snap.iter_ones().collect::<Vec<_>>(), vec![5, 99]);
+        assert_eq!(abv.count_ones(), 0);
+    }
+
+    #[test]
+    fn atomic_concurrent_marking_loses_nothing() {
+        use std::sync::Arc;
+        let abv = Arc::new(AtomicBitVec::new(64 * 1024));
+        let mut handles = Vec::new();
+        for t in 0..8u64 {
+            let abv = Arc::clone(&abv);
+            handles.push(std::thread::spawn(move || {
+                // Each thread sets a disjoint stripe plus a shared region.
+                for i in 0..8 * 1024usize {
+                    abv.set((t as usize) * 8 * 1024 + i);
+                }
+                for i in 0..1000usize {
+                    abv.set(i); // contended sets
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(abv.count_ones(), 64 * 1024);
+    }
+
+    #[test]
+    fn zero_length_vectors() {
+        let bv = BitVec::new(0);
+        assert!(bv.is_empty());
+        assert_eq!(bv.fraction_set(), 0.0);
+        let abv = AtomicBitVec::new(0);
+        assert!(abv.is_empty());
+        assert_eq!(abv.snapshot().len(), 0);
+    }
+}

@@ -1,0 +1,241 @@
+//! The trainer: model + tracker + simulated clock.
+
+use cnr_cluster::SimClock;
+use cnr_model::{BatchStats, DlrmModel};
+use cnr_tracking::ModificationTracker;
+use cnr_workload::{Batch, QpsModel};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Trainer configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainerConfig {
+    /// Simulated training throughput (samples/second); used to advance the
+    /// shared clock per batch.
+    pub qps: QpsModel,
+    /// Whether to mark the modification tracker during training. Always on
+    /// in production; the off switch exists for the tracking-overhead bench.
+    pub track: bool,
+}
+
+impl Default for TrainerConfig {
+    fn default() -> Self {
+        Self {
+            // Laptop-scale default: the *ratios* in experiments are what
+            // matter, not the absolute rate.
+            qps: QpsModel::new(50_000.0),
+            track: true,
+        }
+    }
+}
+
+/// A synchronous trainer over one model replica.
+///
+/// In the real system the model spans 128 GPUs; here one process plays all
+/// devices, which preserves every algorithmic property Check-N-Run depends
+/// on (synchronous updates, forward-pass tracking, stall-to-snapshot).
+pub struct Trainer {
+    model: DlrmModel,
+    tracker: Arc<ModificationTracker>,
+    clock: SimClock,
+    config: TrainerConfig,
+    trained_batches: u64,
+    trained_samples: u64,
+    stall_time: Duration,
+    training_time: Duration,
+    recent_loss: f64,
+}
+
+impl Trainer {
+    /// Creates a trainer; the tracker is sized from the model's tables.
+    pub fn new(model: DlrmModel, clock: SimClock, config: TrainerConfig) -> Self {
+        let tracker = Arc::new(ModificationTracker::new(&model.config().row_counts()));
+        Self {
+            model,
+            tracker,
+            clock,
+            config,
+            trained_batches: 0,
+            trained_samples: 0,
+            stall_time: Duration::ZERO,
+            training_time: Duration::ZERO,
+            recent_loss: f64::NAN,
+        }
+    }
+
+    /// The model (read access).
+    pub fn model(&self) -> &DlrmModel {
+        &self.model
+    }
+
+    /// The model (mutable: checkpoint restore writes through this).
+    pub fn model_mut(&mut self) -> &mut DlrmModel {
+        &mut self.model
+    }
+
+    /// The shared modification tracker.
+    pub fn tracker(&self) -> &Arc<ModificationTracker> {
+        &self.tracker
+    }
+
+    /// The shared clock.
+    pub fn clock(&self) -> &SimClock {
+        &self.clock
+    }
+
+    /// Trains on one batch: forward/backward/update, tracker marking, and a
+    /// clock advance corresponding to the configured throughput.
+    pub fn train_one(&mut self, batch: &Batch) -> BatchStats {
+        let stats = if self.config.track {
+            let tracker = Arc::clone(&self.tracker);
+            self.model
+                .train_batch(batch, |t, r| tracker.mark(t, r as usize))
+        } else {
+            self.model.train_batch(batch, |_, _| {})
+        };
+        let dt = self
+            .config
+            .qps
+            .duration_for_samples(batch.batch_size as u64);
+        self.clock.advance(dt);
+        self.training_time += dt;
+        self.trained_batches += 1;
+        self.trained_samples += batch.batch_size as u64;
+        self.recent_loss = stats.loss;
+        stats
+    }
+
+    /// Stalls the trainer (snapshot copy, §4.2): advances the clock and
+    /// accounts the stall separately from productive training time.
+    pub fn stall(&mut self, d: Duration) {
+        self.clock.advance(d);
+        self.stall_time += d;
+    }
+
+    /// Batches trained so far.
+    pub fn trained_batches(&self) -> u64 {
+        self.trained_batches
+    }
+
+    /// Samples trained so far.
+    pub fn trained_samples(&self) -> u64 {
+        self.trained_samples
+    }
+
+    /// Cumulative stall time from snapshots.
+    pub fn stall_time(&self) -> Duration {
+        self.stall_time
+    }
+
+    /// Cumulative productive training time.
+    pub fn training_time(&self) -> Duration {
+        self.training_time
+    }
+
+    /// Stall overhead as a fraction of total time — the paper's "<0.4%"
+    /// claim (§6.1) is this quantity.
+    pub fn stall_fraction(&self) -> f64 {
+        let total = self.training_time + self.stall_time;
+        if total.is_zero() {
+            0.0
+        } else {
+            self.stall_time.as_secs_f64() / total.as_secs_f64()
+        }
+    }
+
+    /// Loss of the most recent batch (NaN before any training).
+    pub fn recent_loss(&self) -> f64 {
+        self.recent_loss
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnr_model::ModelConfig;
+    use cnr_workload::{DatasetSpec, SyntheticDataset};
+
+    fn setup() -> (SyntheticDataset, Trainer) {
+        let spec = DatasetSpec::tiny(23);
+        let ds = SyntheticDataset::new(spec.clone());
+        let model = DlrmModel::new(ModelConfig::for_dataset(&spec, 8));
+        let trainer = Trainer::new(model, SimClock::new(), TrainerConfig::default());
+        (ds, trainer)
+    }
+
+    #[test]
+    fn training_marks_tracker() {
+        let (ds, mut trainer) = setup();
+        assert_eq!(trainer.tracker().modified_rows(), 0);
+        let batch = ds.batch(0);
+        trainer.train_one(&batch);
+        let marked = trainer.tracker().modified_rows();
+        assert!(marked > 0);
+        // Marked rows are exactly the distinct rows in the batch.
+        let mut distinct = std::collections::HashSet::new();
+        for (t, idx) in batch.sparse.iter().enumerate() {
+            for &r in idx {
+                distinct.insert((t, r));
+            }
+        }
+        assert_eq!(marked, distinct.len());
+    }
+
+    #[test]
+    fn tracking_can_be_disabled() {
+        let spec = DatasetSpec::tiny(23);
+        let ds = SyntheticDataset::new(spec.clone());
+        let model = DlrmModel::new(ModelConfig::for_dataset(&spec, 8));
+        let mut trainer = Trainer::new(
+            model,
+            SimClock::new(),
+            TrainerConfig {
+                track: false,
+                ..Default::default()
+            },
+        );
+        trainer.train_one(&ds.batch(0));
+        assert_eq!(trainer.tracker().modified_rows(), 0);
+    }
+
+    #[test]
+    fn clock_advances_at_configured_qps() {
+        let spec = DatasetSpec::tiny(23);
+        let ds = SyntheticDataset::new(spec.clone());
+        let model = DlrmModel::new(ModelConfig::for_dataset(&spec, 8));
+        let clock = SimClock::new();
+        let mut trainer = Trainer::new(
+            model,
+            clock.clone(),
+            TrainerConfig {
+                qps: QpsModel::new(800.0), // batch of 8 = 10ms
+                track: true,
+            },
+        );
+        trainer.train_one(&ds.batch(0));
+        assert_eq!(clock.now(), Duration::from_millis(10));
+    }
+
+    #[test]
+    fn stall_accounting() {
+        let (ds, mut trainer) = setup();
+        for i in 0..10 {
+            trainer.train_one(&ds.batch(i));
+        }
+        let t = trainer.training_time();
+        trainer.stall(t / 99); // ~1% stall
+        let f = trainer.stall_fraction();
+        assert!(f > 0.005 && f < 0.015, "stall fraction {f}");
+    }
+
+    #[test]
+    fn counters_track_progress() {
+        let (ds, mut trainer) = setup();
+        for i in 0..3 {
+            trainer.train_one(&ds.batch(i));
+        }
+        assert_eq!(trainer.trained_batches(), 3);
+        assert_eq!(trainer.trained_samples(), 3 * 8);
+        assert!(trainer.recent_loss().is_finite());
+    }
+}

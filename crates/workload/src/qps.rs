@@ -1,0 +1,88 @@
+//! Mapping between sample counts and simulated wall-clock time.
+//!
+//! The paper reports several results against *time* (Figure 6: model fraction
+//! modified per 10/20/30/60-minute window; 30-minute checkpoint intervals)
+//! while the trainer operates in *samples*. Production training at Facebook
+//! runs at ~500K queries per second (§2.2); this model performs that unit
+//! conversion so experiments can sweep "interval minutes" without a real
+//! cluster.
+
+use serde::{Deserialize, Serialize};
+use std::time::Duration;
+
+/// Constant-rate throughput model: `qps` training samples per second.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QpsModel {
+    qps: f64,
+}
+
+impl QpsModel {
+    /// Creates a throughput model. Panics on non-positive rates, which would
+    /// make every downstream duration infinite.
+    pub fn new(qps: f64) -> Self {
+        assert!(qps.is_finite() && qps > 0.0, "qps must be positive: {qps}");
+        Self { qps }
+    }
+
+    /// The paper's quoted production rate (§2.2): 500K samples/second.
+    pub fn paper_default() -> Self {
+        Self::new(500_000.0)
+    }
+
+    /// Samples processed per second.
+    pub fn qps(&self) -> f64 {
+        self.qps
+    }
+
+    /// How many whole samples complete within `d`.
+    pub fn samples_in(&self, d: Duration) -> u64 {
+        (self.qps * d.as_secs_f64()).floor() as u64
+    }
+
+    /// How many whole batches of `batch_size` complete within `d`.
+    pub fn batches_in(&self, d: Duration, batch_size: usize) -> u64 {
+        assert!(batch_size > 0);
+        self.samples_in(d) / batch_size as u64
+    }
+
+    /// Time required to process `samples`.
+    pub fn duration_for_samples(&self, samples: u64) -> Duration {
+        Duration::from_secs_f64(samples as f64 / self.qps)
+    }
+
+    /// Time required to process `batches` of `batch_size`.
+    pub fn duration_for_batches(&self, batches: u64, batch_size: usize) -> Duration {
+        self.duration_for_samples(batches * batch_size as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_rate() {
+        let m = QpsModel::paper_default();
+        assert_eq!(m.samples_in(Duration::from_secs(1)), 500_000);
+    }
+
+    #[test]
+    fn thirty_minutes_of_batches() {
+        let m = QpsModel::new(1000.0);
+        assert_eq!(m.batches_in(Duration::from_secs(60), 100), 600);
+    }
+
+    #[test]
+    fn roundtrip_samples_duration() {
+        let m = QpsModel::new(12_345.0);
+        let d = m.duration_for_samples(1_000_000);
+        let back = m.samples_in(d);
+        assert!((back as i64 - 1_000_000i64).abs() <= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "qps must be positive")]
+    fn zero_rate_panics() {
+        let _ = QpsModel::new(0.0);
+    }
+}

@@ -1,0 +1,94 @@
+//! Fleet-level failure recovery: why checkpoint frequency matters (§3.1)
+//! and what Check-N-Run's bandwidth savings buy.
+//!
+//! Simulates a month of a training fleet under the paper-calibrated failure
+//! distribution, sweeping the checkpoint interval. Shorter intervals waste
+//! less re-training time — but are only affordable if each checkpoint is
+//! cheap, which is exactly what incremental+quantized checkpoints provide.
+//!
+//! ```text
+//! cargo run --release --example failure_recovery
+//! ```
+
+use check_n_run::cluster::failure::FailureModel;
+use check_n_run::cluster::recovery::{account, expected_waste_per_failure};
+use check_n_run::cluster::scheduler::{ClusterFleet, Scheduler};
+use check_n_run::cluster::job::TrainingJob;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+const HOUR: Duration = Duration::from_secs(3600);
+const MIN: Duration = Duration::from_secs(60);
+
+fn main() {
+    let model = FailureModel::paper_calibrated();
+
+    // Part 1: per-job accounting. One 72-hour training job, failures drawn
+    // from the calibrated distribution, intervals from 5 minutes to 4 hours.
+    println!("# per-job recovery accounting (72h job, paper-calibrated failures)");
+    println!("interval_min,failures,wasted_hours,restore_hours,overhead_pct");
+    let mut rng = StdRng::seed_from_u64(17);
+    let offsets: Vec<Duration> = (0..64)
+        .map(|_| model.sample(&mut rng).unwrap().time_to_failure)
+        .collect();
+    for interval in [5 * MIN, 15 * MIN, 30 * MIN, 2 * HOUR, 4 * HOUR] {
+        let acc = account(72 * HOUR, &offsets, interval, 5 * MIN);
+        println!(
+            "{},{},{:.2},{:.2},{:.2}",
+            interval.as_secs() / 60,
+            acc.failures,
+            acc.wasted_work.as_secs_f64() / 3600.0,
+            acc.restore_time.as_secs_f64() / 3600.0,
+            acc.overhead_fraction() * 100.0
+        );
+    }
+    println!(
+        "# expected waste/failure at 30min interval: {} min (interval/2)",
+        expected_waste_per_failure(30 * MIN).as_secs() / 60
+    );
+    println!();
+
+    // Part 2: fleet simulation. The paper's fleet shape (21 clusters x 16
+    // nodes), a mixed batch of jobs, one simulated week.
+    println!("# fleet simulation: 21 clusters x 16 nodes, one week");
+    let mut scheduler = Scheduler::new(ClusterFleet::paper_fleet(), model.clone(), 99)
+        .with_checkpoint_interval(Some(30 * MIN));
+    let jobs: Vec<TrainingJob> = (0..48)
+        .map(|i| {
+            TrainingJob::new(
+                i,
+                if i % 4 == 0 { 16 } else { 8 },
+                Duration::from_secs(3600 * (12 + (i % 5) * 12)),
+                Duration::from_secs(1800 * i),
+            )
+        })
+        .collect();
+    let outcomes = scheduler.run(&jobs, Duration::from_secs(7 * 24 * 3600));
+
+    let completed = outcomes.iter().filter(|o| o.completed_at.is_some()).count();
+    let failures: usize = outcomes.iter().map(|o| o.failures.len()).sum();
+    let wasted: Duration = outcomes.iter().map(|o| o.wasted_work).sum();
+    let useful: Duration = outcomes.iter().map(|o| o.work_done).sum();
+    println!("jobs completed: {completed}/{}", outcomes.len());
+    println!("total failures: {failures}");
+    println!(
+        "useful work: {:.0} node-hours, wasted re-training: {:.1} node-hours ({:.2}%)",
+        useful.as_secs_f64() / 3600.0,
+        wasted.as_secs_f64() / 3600.0,
+        100.0 * wasted.as_secs_f64() / (useful + wasted).as_secs_f64().max(1e-9)
+    );
+
+    // Part 3: the same fleet without checkpointing — the paper's motivation
+    // that long jobs "may never complete their task".
+    let mut no_ckpt = Scheduler::new(ClusterFleet::paper_fleet(), model, 99)
+        .with_checkpoint_interval(None);
+    let outcomes2 = no_ckpt.run(&jobs, Duration::from_secs(7 * 24 * 3600));
+    let completed2 = outcomes2.iter().filter(|o| o.completed_at.is_some()).count();
+    let wasted2: Duration = outcomes2.iter().map(|o| o.wasted_work).sum();
+    println!(
+        "without checkpoints: {completed2}/{} jobs completed, {:.0} node-hours wasted",
+        outcomes2.len(),
+        wasted2.as_secs_f64() / 3600.0
+    );
+}

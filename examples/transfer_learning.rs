@@ -1,0 +1,84 @@
+//! Transfer learning from an intermediate checkpoint (§1: "Checkpoints are
+//! also used for performing transfer learning, where an intermediate model
+//! state is used as a seed, which is then trained for a different goal").
+//!
+//! A model trains on task A and checkpoints (without reader state — the
+//! target job reads its own data). A second job seeds its embedding tables
+//! from that checkpoint and trains on task B (same categorical universe,
+//! different label distribution). The example measures the head start the
+//! warm embeddings provide over a cold start.
+//!
+//! ```text
+//! cargo run --release --example transfer_learning
+//! ```
+
+use check_n_run::core::restore::restore;
+use check_n_run::core::{EngineBuilder, PolicyKind, QuantMode};
+use check_n_run::model::{DlrmModel, ModelConfig};
+use check_n_run::quant::QuantScheme;
+use check_n_run::trainer::evaluate;
+use check_n_run::workload::{DatasetSpec, SyntheticDataset};
+
+fn main() {
+    // Task A: train and checkpoint (8-bit quantized; transfer tolerates it).
+    let task_a = DatasetSpec::medium(100);
+    let model_cfg = ModelConfig::for_dataset(&task_a, 16);
+    let mut engine = EngineBuilder::new(task_a, model_cfg.clone())
+        .checkpoint_every_batches(300)
+        .policy(PolicyKind::OneShot)
+        .quantization(QuantMode::Fixed(QuantScheme::Asymmetric { bits: 8 }))
+        .job_name("task-a")
+        .build()
+        .expect("engine");
+    engine.train_batches(900).expect("task A training");
+    let ckpt = engine.controller().latest().expect("checkpoint");
+    println!("task A trained 900 batches, seed checkpoint: {ckpt}");
+
+    // Task B: same sparse universe and the same underlying concept (the
+    // hidden click model), but a different data distribution — a domain
+    // shift, e.g. launching the model on a new surface. Sharing the concept
+    // is what makes the task-A embeddings worth transferring.
+    let mut task_b = DatasetSpec::medium(200);
+    task_b.tables = engine.dataset().spec().tables.clone();
+    task_b.concept_seed = Some(100);
+    let ds_b = SyntheticDataset::new(task_b.clone());
+    let cfg_b = ModelConfig::for_dataset(&task_b, 16);
+
+    // Warm start: seed embeddings from the task-A checkpoint.
+    let report = restore(
+        engine.store().as_ref() as &dyn check_n_run::storage::ObjectStore,
+        "task-a",
+        ckpt,
+        &model_cfg,
+    )
+    .expect("seed restore");
+    let mut warm = DlrmModel::new(cfg_b.clone());
+    // Transfer only the embedding tables; MLPs retrain from scratch (the
+    // "different goal" gets its own dense head).
+    for (table, snap) in warm.tables_mut().iter_mut().zip(&report.state.tables) {
+        table.data_mut().copy_from_slice(&snap.data);
+    }
+    let mut cold = DlrmModel::new(cfg_b);
+
+    println!("\nbatches,warm_logloss,cold_logloss,warm_advantage");
+    let mut trained = 0u64;
+    for round in 0..6u64 {
+        let eval_warm = evaluate(&warm, &ds_b, 70_000, 70_030);
+        let eval_cold = evaluate(&cold, &ds_b, 70_000, 70_030);
+        println!(
+            "{trained},{:.4},{:.4},{:+.4}",
+            eval_warm.logloss,
+            eval_cold.logloss,
+            eval_cold.logloss - eval_warm.logloss
+        );
+        if round == 5 {
+            break;
+        }
+        for i in trained..trained + 100 {
+            warm.train_batch(&ds_b.batch(i), |_, _| {});
+            cold.train_batch(&ds_b.batch(i), |_, _| {});
+        }
+        trained += 100;
+    }
+    println!("\n# positive warm_advantage = the checkpoint seed is paying off");
+}

@@ -1,0 +1,114 @@
+//! Validates the incremental-checkpoint soundness invariant and quantifies
+//! the paper's forward-pass tracking approximation (§5.1.1).
+//!
+//! Soundness: every embedding row whose value changed during an interval
+//! must be present in the tracker's delta — otherwise an incremental
+//! checkpoint would silently lose updates. The converse (rows in the delta
+//! that did not actually change) is allowed and is exactly the paper's
+//! "track reads in the forward pass as a proxy for writes" approximation;
+//! we measure its false-positive rate.
+
+use check_n_run::cluster::SimClock;
+use check_n_run::model::{DlrmModel, ModelConfig};
+use check_n_run::trainer::{Trainer, TrainerConfig};
+use check_n_run::workload::{DatasetSpec, SyntheticDataset};
+
+fn setup(seed: u64) -> (SyntheticDataset, Trainer) {
+    let spec = DatasetSpec::tiny(seed);
+    let ds = SyntheticDataset::new(spec.clone());
+    let model = DlrmModel::new(ModelConfig::for_dataset(&spec, 8));
+    (
+        ds,
+        Trainer::new(model, SimClock::new(), TrainerConfig::default()),
+    )
+}
+
+/// Rows whose bytes changed between two model states, per table.
+fn changed_rows(before: &[Vec<f32>], trainer: &Trainer) -> Vec<Vec<usize>> {
+    trainer
+        .model()
+        .tables()
+        .iter()
+        .enumerate()
+        .map(|(t, table)| {
+            (0..table.rows())
+                .filter(|&r| {
+                    let dim = table.dim();
+                    table.row(r) != &before[t][r * dim..(r + 1) * dim]
+                })
+                .collect()
+        })
+        .collect()
+}
+
+#[test]
+fn every_changed_row_is_tracked() {
+    let (ds, mut trainer) = setup(51);
+    let before: Vec<Vec<f32>> = trainer
+        .model()
+        .tables()
+        .iter()
+        .map(|t| t.data().to_vec())
+        .collect();
+    for i in 0..20 {
+        trainer.train_one(&ds.batch(i));
+    }
+    let delta = trainer.tracker().snapshot();
+    let changed = changed_rows(&before, &trainer);
+    for (t, rows) in changed.iter().enumerate() {
+        for &r in rows {
+            assert!(
+                delta.tables[t].get(r),
+                "table {t} row {r} changed but is not in the delta — an \
+                 incremental checkpoint would lose this update"
+            );
+        }
+    }
+}
+
+#[test]
+fn forward_tracking_false_positive_rate_is_small() {
+    // A tracked row is a false positive if its value never changed (e.g. a
+    // zero gradient). With real gradients this is rare; quantify it.
+    let (ds, mut trainer) = setup(53);
+    let before: Vec<Vec<f32>> = trainer
+        .model()
+        .tables()
+        .iter()
+        .map(|t| t.data().to_vec())
+        .collect();
+    for i in 0..30 {
+        trainer.train_one(&ds.batch(i));
+    }
+    let delta = trainer.tracker().snapshot();
+    let changed = changed_rows(&before, &trainer);
+    let tracked: usize = delta.modified_rows();
+    let truly_changed: usize = changed.iter().map(|c| c.len()).sum();
+    assert!(tracked >= truly_changed);
+    let false_positives = tracked - truly_changed;
+    let rate = false_positives as f64 / tracked.max(1) as f64;
+    assert!(
+        rate < 0.02,
+        "false-positive rate {rate} too high: {false_positives}/{tracked}"
+    );
+}
+
+#[test]
+fn consecutive_deltas_partition_the_one_shot_delta() {
+    // Union of per-interval (reset) deltas == accumulate-since-baseline
+    // delta of the same training — the algebra connecting the two policies.
+    let (ds, mut one_shot) = setup(57);
+    let (_, mut consecutive) = setup(57);
+    let mut union = check_n_run::tracking::TrackerSnapshot::empty(
+        &one_shot.model().config().row_counts(),
+    );
+    for interval in 0..4u64 {
+        for i in interval * 5..(interval + 1) * 5 {
+            one_shot.train_one(&ds.batch(i));
+            consecutive.train_one(&ds.batch(i));
+        }
+        union.union_with(&consecutive.tracker().snapshot_and_reset());
+    }
+    let accumulated = one_shot.tracker().snapshot();
+    assert_eq!(union, accumulated);
+}
