@@ -125,20 +125,28 @@ mod tests {
 
     #[test]
     fn validation_catches_zeroes() {
-        let mut c = CheckpointConfig::default();
-        c.interval_batches = 0;
+        let c = CheckpointConfig {
+            interval_batches: 0,
+            ..CheckpointConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = CheckpointConfig::default();
-        c.chunk_rows = 0;
+        let c = CheckpointConfig {
+            chunk_rows: 0,
+            ..CheckpointConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = CheckpointConfig::default();
-        c.quantize_workers = 0;
+        let c = CheckpointConfig {
+            quantize_workers: 0,
+            ..CheckpointConfig::default()
+        };
         assert!(c.validate().is_err());
 
-        let mut c = CheckpointConfig::default();
-        c.retained_chains = 0;
+        let c = CheckpointConfig {
+            retained_chains: 0,
+            ..CheckpointConfig::default()
+        };
         assert!(c.validate().is_err());
     }
 
@@ -158,8 +166,10 @@ mod tests {
 
     #[test]
     fn fixed_quant_bits_validated() {
-        let mut c = CheckpointConfig::default();
-        c.quant = QuantMode::Fixed(QuantScheme::Asymmetric { bits: 8 });
+        let c = CheckpointConfig {
+            quant: QuantMode::Fixed(QuantScheme::Asymmetric { bits: 8 }),
+            ..CheckpointConfig::default()
+        };
         assert!(c.validate().is_ok());
     }
 }

@@ -167,7 +167,7 @@ mod tests {
             corrupted[i] ^= 0x01;
             let mut slice = corrupted.as_slice();
             assert!(
-                get_framed(&mut slice).is_err() || slice.len() != 0,
+                get_framed(&mut slice).is_err() || !slice.is_empty(),
                 "flip at byte {i} went unnoticed"
             );
         }

@@ -140,6 +140,44 @@ mod tests {
     }
 
     #[test]
+    fn eight_bit_packing_is_identity() {
+        // Width 8 must produce exactly the raw bytes: the packed stream has
+        // no framing or padding of its own.
+        let codes: Vec<u16> = (0..=255u16).collect();
+        let packed = pack(&codes, 8);
+        let raw: Vec<u8> = codes.iter().map(|&c| c as u8).collect();
+        assert_eq!(packed, raw);
+        assert_eq!(unpack(&packed, 8, codes.len()).unwrap(), codes);
+    }
+
+    #[test]
+    fn sixteen_bit_packing_is_little_endian_u16() {
+        let codes = vec![0x0000u16, 0x00FF, 0xFF00, 0xABCD, u16::MAX];
+        let packed = pack(&codes, 16);
+        let raw: Vec<u8> = codes.iter().flat_map(|c| c.to_le_bytes()).collect();
+        assert_eq!(packed, raw);
+        assert_eq!(unpack(&packed, 16, codes.len()).unwrap(), codes);
+    }
+
+    #[test]
+    fn one_bit_packing_is_dense() {
+        // 8 one-bit codes fit exactly one byte, LSB-first.
+        let codes = vec![1u16, 0, 1, 1, 0, 0, 1, 0];
+        let packed = pack(&codes, 1);
+        assert_eq!(packed, vec![0b0100_1101]);
+        assert_eq!(unpack(&packed, 1, 8).unwrap(), codes);
+    }
+
+    #[test]
+    fn unpack_ignores_trailing_bytes() {
+        // A longer buffer than needed is fine: decoders hand whole chunk
+        // bodies to unpack and rely on `n` for the element count.
+        let mut packed = pack(&[5u16, 9, 2], 4);
+        packed.extend_from_slice(&[0xFF, 0xEE]);
+        assert_eq!(unpack(&packed, 4, 3).unwrap(), vec![5, 9, 2]);
+    }
+
+    #[test]
     fn three_bit_alignment_crosses_bytes() {
         // 3-bit codes cross byte boundaries at every third code.
         let codes: Vec<u16> = vec![0b101, 0b011, 0b110, 0b001, 0b111, 0b000, 0b010, 0b100];

@@ -134,6 +134,41 @@ mod tests {
     }
 
     #[test]
+    fn one_bit_snaps_to_nearer_endpoint() {
+        // The 1-bit edge width: the code space is {xmin, xmax}, so every
+        // element lands on whichever endpoint is nearer.
+        let row = vec![0.0f32, 0.1, 0.9, 1.0];
+        let (codes, p) = quantize_asymmetric(&row, 1);
+        let back = dequantize(&codes, &p);
+        assert_eq!(back, vec![0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn sixteen_bit_roundtrip_is_tight() {
+        // Width-16 edge: the grid has 65535 steps, so roundtrip error is
+        // bounded by half of range/65535 — plus f32 rounding slack, which
+        // at this width is within an order of magnitude of the step itself.
+        let row: Vec<f32> = (0..128).map(|i| (i as f32).sin()).collect();
+        let (codes, p) = quantize_asymmetric(&row, 16);
+        let back = dequantize(&codes, &p);
+        let half_step = 2.0 / 65535.0 / 2.0 * 1.05 + 1e-6;
+        for (x, y) in row.iter().zip(&back) {
+            assert!((x - y).abs() <= half_step, "error {} at 16 bits", (x - y).abs());
+        }
+    }
+
+    #[test]
+    fn empty_row_roundtrips_through_every_entry_point() {
+        for bits in [1u8, 8, 16] {
+            let (cs, ps) = quantize_symmetric(&[], bits);
+            assert!(cs.is_empty() && dequantize(&cs, &ps).is_empty());
+            let (cr, pr) = quantize_with_range(&[], -1.0, 1.0, bits);
+            assert!(cr.is_empty() && dequantize(&cr, &pr).is_empty());
+        }
+        assert_eq!(min_max(&[]), (0.0, 0.0));
+    }
+
+    #[test]
     fn out_of_range_values_clip() {
         let row = vec![0.0f32, 1.0];
         let (codes, p) = quantize_with_range(&row, 0.25, 0.75, 2);

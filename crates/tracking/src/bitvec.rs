@@ -397,4 +397,52 @@ mod tests {
         assert!(abv.is_empty());
         assert_eq!(abv.snapshot().len(), 0);
     }
+
+    #[test]
+    fn word_boundary_lengths_roundtrip_through_words() {
+        // Lengths straddling the 64-bit word edge are where from_words'
+        // high-bit validation and iter_ones' word stepping can go wrong.
+        for len in [63usize, 64, 65, 128, 129] {
+            let mut bv = BitVec::new(len);
+            bv.set(0);
+            bv.set(len - 1);
+            let rebuilt = BitVec::from_words(len, bv.words().to_vec()).unwrap();
+            assert_eq!(rebuilt, bv, "len {len}");
+            assert_eq!(
+                rebuilt.iter_ones().collect::<Vec<_>>(),
+                vec![0, len - 1],
+                "len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn from_words_rejects_high_bits_at_exact_boundary() {
+        // len 65 -> two words; bit 1 of the second word is past the end.
+        assert!(BitVec::from_words(65, vec![0, 0b10]).is_none());
+        // len 64 -> one full word; every bit of it is in range.
+        assert!(BitVec::from_words(64, vec![u64::MAX]).is_some());
+    }
+
+    #[test]
+    fn clear_all_then_reuse() {
+        let mut bv = BitVec::new(70);
+        bv.set(3);
+        bv.set(69);
+        bv.clear_all();
+        assert_eq!(bv.count_ones(), 0);
+        bv.set(68);
+        assert_eq!(bv.iter_ones().collect::<Vec<_>>(), vec![68]);
+    }
+
+    #[test]
+    fn empty_inputs_to_set_algebra() {
+        let mut a = BitVec::new(0);
+        let b = BitVec::new(0);
+        a.union_with(&b);
+        a.intersect_with(&b);
+        a.subtract(&b);
+        assert_eq!(a.count_ones(), 0);
+        assert_eq!(a.iter_ones().count(), 0);
+    }
 }

@@ -120,7 +120,8 @@ mod tests {
         assert_eq!(b.sparse_of(0, 1), &[3, 4]);
         assert_eq!(b.sparse_of(1, 1), &[8]);
         assert_eq!(b.num_tables(), 2);
-        assert_eq!(b.total_lookups(), 2 * 2 + 1 * 2);
+        // Two samples with 2 lookups in table 0 and 1 lookup in table 1.
+        assert_eq!(b.total_lookups(), 2 * (2 + 1));
     }
 
     #[test]

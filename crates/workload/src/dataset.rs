@@ -43,7 +43,7 @@ impl TableAccessSpec {
             rows,
             hot,
             zipf_exponent,
-            active_fraction: 1.0,
+            active_fraction: default_active_fraction(),
         }
     }
 

@@ -1,0 +1,34 @@
+//! Executes the crate-level quickstart from `src/lib.rs` line for line.
+//!
+//! The doc example is `no_run` (500 training batches is too slow for a doc
+//! test), so this smoke test is what actually guards it against rot: if the
+//! builder API or the quickstart flow drifts, this fails even though the
+//! doc example only ever gets compile-checked.
+
+use check_n_run::prelude::*;
+
+#[test]
+fn quickstart_doc_example_runs() {
+    // Keep in sync with the `Quickstart` example in src/lib.rs.
+    let spec = DatasetSpec::medium(42);
+    let model_cfg = ModelConfig::for_dataset(&spec, 16);
+    let mut engine = EngineBuilder::new(spec, model_cfg)
+        .checkpoint_every_batches(100)
+        .policy(PolicyKind::Intermittent)
+        .quantization(QuantMode::Dynamic {
+            expected_restores: 1,
+        })
+        .build()
+        .expect("engine construction");
+    engine.train_batches(500).expect("training");
+
+    // The quickstart promises a working checkpointing engine, not just a
+    // training loop: 500 batches at checkpoint_every_batches(100) must have
+    // produced checkpoints.
+    let stats = engine.stats();
+    assert!(
+        stats.intervals.len() >= 4,
+        "expected >= 4 checkpoints after 500 batches at interval 100, got {}",
+        stats.intervals.len()
+    );
+}

@@ -1,0 +1,18 @@
+//! Offline vendored stub of `serde`.
+//!
+//! Provides the `Serialize`/`Deserialize` names in both the trait and
+//! derive-macro namespaces, exactly like the real crate, so source files
+//! written against real serde (`use serde::{Deserialize, Serialize};` +
+//! `#[derive(...)]` + `#[serde(...)]` attributes) compile unchanged. No
+//! serialization machinery is provided: nothing in this workspace
+//! serializes through serde (see `cnr_core::wire` for the hand-rolled wire
+//! format). Replace the `path` dependency with the registry crate to get
+//! the real thing; no source edits are required.
+
+/// Marker trait standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait standing in for `serde::Deserialize`.
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,21 @@
+//! Offline vendored stub of `serde_derive`.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as schema
+//! annotation — nothing in the tree serializes through serde (the wire
+//! format in `cnr_core::wire` is hand-rolled) and nothing bounds on the
+//! traits. These derives therefore only need to *accept* the annotations
+//! (including `#[serde(...)]` helper attributes) so the workspace builds
+//! with no network access. Swapping in the real serde is a one-line
+//! `Cargo.toml` change per crate; no source edits are required.
+
+use proc_macro::TokenStream;
+
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
