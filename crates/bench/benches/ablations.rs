@@ -7,7 +7,7 @@ use cnr_core::config::CheckpointConfig;
 use cnr_core::manifest::{CheckpointId, CheckpointKind};
 use cnr_core::policy::{Decision, TrackerAction};
 use cnr_core::snapshot::SnapshotTaker;
-use cnr_core::writer::CheckpointWriter;
+use cnr_core::write::CheckpointWriter;
 use cnr_cluster::SimClock;
 use cnr_model::ShardPlan;
 use cnr_quant::{ParamSelector, QuantScheme};

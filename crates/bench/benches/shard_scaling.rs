@@ -1,0 +1,89 @@
+//! Shard-scaling bench: the same snapshot written over 1/2/4/8 writer
+//! hosts.
+//!
+//! Two quantities matter and the bench reports both:
+//!
+//! * **wall time** (criterion's measurement) — the bookkeeping cost of the
+//!   sharded pipeline; and
+//! * **simulated durability time** (printed once per host count) — the
+//!   §4.3 write latency, which drops near-linearly with hosts because each
+//!   host streams its shard over its own uplink.
+
+use cnr_cluster::SimClock;
+use cnr_core::config::CheckpointConfig;
+use cnr_core::manifest::{CheckpointId, CheckpointKind};
+use cnr_core::policy::{Decision, TrackerAction};
+use cnr_core::snapshot::SnapshotTaker;
+use cnr_core::write::CheckpointWriter;
+use cnr_core::TrainingSnapshot;
+use cnr_model::{DlrmModel, ModelConfig, ShardPlan};
+use cnr_quant::QuantScheme;
+use cnr_reader::ReaderState;
+use cnr_storage::{RemoteConfig, SimulatedRemoteStore};
+use cnr_trainer::{Trainer, TrainerConfig};
+use cnr_workload::{DatasetSpec, SyntheticDataset};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn snapshot() -> TrainingSnapshot {
+    let spec = DatasetSpec::tiny(4242);
+    let ds = SyntheticDataset::new(spec.clone());
+    let cfg = ModelConfig::for_dataset(&spec, 16);
+    let model = DlrmModel::new(cfg.clone());
+    let mut trainer = Trainer::new(model, SimClock::new(), TrainerConfig::default());
+    for i in 0..3 {
+        trainer.train_one(&ds.batch(i));
+    }
+    SnapshotTaker::new(ShardPlan::balanced(&cfg, 1, 2)).take(
+        &mut trainer,
+        ReaderState::at(3),
+        Decision {
+            kind: CheckpointKind::Full,
+            tracker: TrackerAction::SnapshotReset,
+        },
+        &CheckpointConfig::default(),
+    )
+}
+
+fn write_once(snap: &TrainingSnapshot, hosts: usize) -> Duration {
+    let store = SimulatedRemoteStore::new(
+        RemoteConfig {
+            bandwidth_bytes_per_sec: 4.0 * 1024.0 * 1024.0,
+            base_latency: Duration::from_micros(200),
+            replication: 1,
+            channels: hosts as u32,
+        },
+        SimClock::new(),
+    );
+    let writer = CheckpointWriter::new(&store, "bench");
+    let cfg = CheckpointConfig {
+        chunk_rows: 128,
+        writer_hosts: hosts,
+        ..CheckpointConfig::default()
+    };
+    writer
+        .write(snap, CheckpointId(0), None, QuantScheme::Fp32, &cfg)
+        .expect("write")
+        .completed_at
+}
+
+fn shard_scaling(c: &mut Criterion) {
+    let snap = snapshot();
+    let mut group = c.benchmark_group("shard_write");
+    group.sample_size(10);
+    for hosts in [1usize, 2, 4, 8] {
+        let durable = write_once(&snap, hosts);
+        println!("# shard_write/{hosts}: simulated durability {durable:?}");
+        group.bench_with_input(BenchmarkId::from_parameter(hosts), &hosts, |b, &hosts| {
+            b.iter(|| write_once(&snap, hosts));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = shard_scaling
+}
+criterion_main!(benches);

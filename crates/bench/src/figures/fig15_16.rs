@@ -139,6 +139,7 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "slow full-scale figure reproduction; CI runs it via `cargo test -- --ignored`"]
     fn one_shot_sizes_grow_consecutive_stay_flat() {
         let rs = runs();
         let oneshot = &rs[0].intervals;
@@ -159,6 +160,7 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "slow full-scale figure reproduction; CI runs it via `cargo test -- --ignored`"]
     fn consecutive_capacity_outgrows_one_shot() {
         let rs = runs();
         let oneshot_cap = rs[0].intervals.last().unwrap().capacity_fraction;
@@ -179,6 +181,7 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "slow full-scale figure reproduction; CI runs it via `cargo test -- --ignored`"]
     fn first_incremental_is_roughly_a_quarter() {
         // Calibration check for the paper-comparable starting point.
         let rs = runs();
@@ -190,6 +193,7 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "slow full-scale figure reproduction; CI runs it via `cargo test -- --ignored`"]
     fn intermittent_matches_one_shot_until_rebaseline() {
         let rs = runs();
         let oneshot = &rs[0].intervals;

@@ -108,6 +108,7 @@ mod tests {
     use super::*;
 
     #[test]
+    #[ignore = "slow full-scale figure reproduction; CI runs it via `cargo test -- --ignored`"]
     fn reductions_shrink_as_restores_grow() {
         let rows = run(8, 5);
         assert_eq!(rows[0].bits, 2);
@@ -124,6 +125,7 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "slow full-scale figure reproduction; CI runs it via `cargo test -- --ignored`"]
     fn reductions_are_in_the_papers_ballpark() {
         let rows = run(12, 5);
         let best = &rows[0];

@@ -33,6 +33,11 @@ pub struct TrainingJob {
     pub priority: JobPriority,
     /// Number of nodes the job occupies while running.
     pub nodes: usize,
+    /// Writer hosts participating in each checkpoint upload: every host
+    /// owns a row-range of every embedding table and writes its own shard
+    /// in parallel (§4.4). Defaults to `nodes` — in the production layout
+    /// each trainer node uploads the shard it holds.
+    pub writer_hosts: usize,
     /// Training time needed to complete (excluding failure rework).
     pub work: Duration,
     /// Submission time relative to the simulation epoch.
@@ -40,15 +45,25 @@ pub struct TrainingJob {
 }
 
 impl TrainingJob {
-    /// Convenience constructor with normal priority.
+    /// Convenience constructor with normal priority; every node doubles as
+    /// a writer host.
     pub fn new(id: u64, nodes: usize, work: Duration, submitted_at: Duration) -> Self {
         Self {
             id: JobId(id),
             priority: JobPriority::Normal,
             nodes,
+            writer_hosts: nodes,
             work,
             submitted_at,
         }
+    }
+
+    /// Overrides the writer-host count (e.g. dedicated checkpoint uploaders
+    /// instead of one writer per trainer node).
+    pub fn with_writer_hosts(mut self, writer_hosts: usize) -> Self {
+        assert!(writer_hosts >= 1, "need at least one writer host");
+        self.writer_hosts = writer_hosts;
+        self
     }
 }
 
@@ -65,5 +80,14 @@ mod tests {
     #[test]
     fn display_formats_id() {
         assert_eq!(JobId(7).to_string(), "job-7");
+    }
+
+    #[test]
+    fn writer_hosts_default_to_nodes() {
+        let job = TrainingJob::new(1, 16, Duration::from_secs(60), Duration::ZERO);
+        assert_eq!(job.writer_hosts, 16);
+        let job = job.with_writer_hosts(4);
+        assert_eq!(job.writer_hosts, 4);
+        assert_eq!(job.nodes, 16);
     }
 }

@@ -27,7 +27,7 @@ pub mod recovery;
 pub mod scheduler;
 
 pub use clock::SimClock;
-pub use failure::{FailureModel, TtfSample};
+pub use failure::{FailureModel, HostKill, TtfSample};
 pub use job::{JobId, JobPriority, TrainingJob};
 pub use recovery::RecoveryAccounting;
 pub use scheduler::{ClusterFleet, JobOutcome, Scheduler};

@@ -49,8 +49,22 @@ pub struct CheckpointConfig {
     /// Embedding rows per storage chunk (pipelining granularity, §4.4).
     pub chunk_rows: usize,
     /// Background quantization worker threads (the paper's "dedicated CPU
-    /// processes").
+    /// processes"). The budget spreads across writer hosts: up to
+    /// `min(quantize_workers, writer_hosts)` shards run concurrently, each
+    /// splitting its share into a chunk-level pipeline — a single-host
+    /// write still quantizes on all workers.
     pub quantize_workers: usize,
+    /// Simulated writer hosts: each owns a contiguous row-range of every
+    /// table and uploads its own shard over its own uplink (§4.4's
+    /// parallel per-host writes). 1 = the single-host path.
+    pub writer_hosts: usize,
+    /// Bounded in-flight window of the upload scheduler: at most this many
+    /// multipart parts per host may be in flight (in simulated time) before
+    /// backpressure delays the next part.
+    pub upload_window: usize,
+    /// Multipart part size: chunks larger than this stream to the store in
+    /// multiple parts, each accounted individually.
+    pub part_bytes: usize,
     /// How many complete restore chains to retain; older chains are deleted
     /// once a newer checkpoint is valid (§4.4).
     pub retained_chains: usize,
@@ -69,6 +83,9 @@ impl Default for CheckpointConfig {
             quant: QuantMode::None,
             chunk_rows: 4096,
             quantize_workers: 2,
+            writer_hosts: 1,
+            upload_window: 8,
+            part_bytes: 1 << 20,
             retained_chains: 1,
             snapshot_bandwidth_per_device: 5.0e9,
             devices: 8,
@@ -87,6 +104,18 @@ impl CheckpointConfig {
         }
         if self.quantize_workers == 0 {
             return Err("need at least one quantize worker".into());
+        }
+        if self.writer_hosts == 0 {
+            return Err("need at least one writer host".into());
+        }
+        if self.writer_hosts > u16::MAX as usize {
+            return Err("writer_hosts exceeds the shard id space".into());
+        }
+        if self.upload_window == 0 {
+            return Err("upload window must admit at least one part".into());
+        }
+        if self.part_bytes == 0 {
+            return Err("multipart part size must be positive".into());
         }
         if self.retained_chains == 0 {
             return Err("must retain at least one chain".into());
@@ -148,6 +177,27 @@ mod tests {
             ..CheckpointConfig::default()
         };
         assert!(c.validate().is_err());
+
+        for bad in [
+            CheckpointConfig {
+                writer_hosts: 0,
+                ..CheckpointConfig::default()
+            },
+            CheckpointConfig {
+                writer_hosts: u16::MAX as usize + 1,
+                ..CheckpointConfig::default()
+            },
+            CheckpointConfig {
+                upload_window: 0,
+                ..CheckpointConfig::default()
+            },
+            CheckpointConfig {
+                part_bytes: 0,
+                ..CheckpointConfig::default()
+            },
+        ] {
+            assert!(bad.validate().is_err());
+        }
     }
 
     #[test]

@@ -32,6 +32,7 @@ pub struct CheckpointController {
     job: String,
     retained_chains: usize,
     checkpoints: BTreeMap<CheckpointId, Registered>,
+    orphans_swept: u64,
 }
 
 impl CheckpointController {
@@ -43,12 +44,24 @@ impl CheckpointController {
             job: job.into(),
             retained_chains,
             checkpoints: BTreeMap::new(),
+            orphans_swept: 0,
         }
     }
 
     /// Declares a stored checkpoint valid and applies retention. Returns the
     /// ids that were deleted.
+    ///
+    /// Registration also garbage-collects *orphans*: objects under the
+    /// job's namespace that no valid checkpoint owns — chunks of writes
+    /// that failed before their manifest landed, and staged parts of
+    /// aborted multipart uploads. A failed write cannot clean up after
+    /// itself (the writer is gone), so the next successful registration
+    /// sweeps for it. That keeps the job's storage footprint
+    /// crash-consistent: after every register, bytes held == bytes owned
+    /// by valid checkpoints (plus any pre-existing manifested checkpoints
+    /// this controller instance has never seen, which are left intact).
     pub fn register(&mut self, manifest: &Manifest, manifest_key: &str) -> Result<Vec<CheckpointId>> {
+        self.sweep_orphans(manifest, manifest_key)?;
         let mut keys: Vec<String> = manifest.chunks.iter().map(|c| c.key.clone()).collect();
         keys.push(manifest_key.to_string());
         let bytes = manifest.total_bytes();
@@ -62,6 +75,63 @@ impl CheckpointController {
             },
         );
         self.apply_retention()
+    }
+
+    /// Deletes orphaned objects under the job's prefix. An object is an
+    /// orphan when (a) it is multipart staging debris (its key contains the
+    /// `.mp-` infix — always transient, and no upload is in progress while
+    /// the controller registers), or (b) it lives under a checkpoint-id
+    /// directory that has **no manifest object**: writers store the
+    /// manifest last, so a manifest-less directory can only be the debris
+    /// of a write that died partway. Directories *with* a manifest are
+    /// never touched, even when this controller has no record of them — a
+    /// freshly constructed controller over a pre-existing store (crash
+    /// recovery) must not eat earlier valid checkpoints.
+    ///
+    /// Returns how many objects were deleted.
+    fn sweep_orphans(&mut self, incoming: &Manifest, incoming_key: &str) -> Result<u64> {
+        let mut owned: HashSet<&str> = self
+            .checkpoints
+            .values()
+            .flat_map(|r| r.keys.iter().map(String::as_str))
+            .collect();
+        owned.extend(incoming.chunks.iter().map(|c| c.key.as_str()));
+        owned.insert(incoming_key);
+
+        let job_prefix = format!("{}/", self.job);
+        let keys = self.store.list(&job_prefix)?;
+        // Checkpoint-id directories that contain a manifest: `{job}/{id}`
+        // for every listed `{job}/{id}/manifest`.
+        let with_manifest: HashSet<&str> = keys
+            .iter()
+            .filter_map(|k| k.strip_suffix("/manifest"))
+            .collect();
+
+        let mut swept = 0u64;
+        for key in &keys {
+            if owned.contains(key.as_str()) {
+                continue;
+            }
+            let staging_debris = key.contains(".mp-");
+            // `{job}/{id}/...` → `{job}/{id}`; keys directly under the job
+            // prefix (no further '/') have no id directory and are left
+            // alone unless they are staging debris.
+            let id_dir = key[job_prefix.len()..]
+                .find('/')
+                .map(|i| &key[..job_prefix.len() + i]);
+            let manifestless = id_dir.is_some_and(|d| !with_manifest.contains(d));
+            if staging_debris || manifestless {
+                self.store.delete(key)?;
+                swept += 1;
+            }
+        }
+        self.orphans_swept += swept;
+        Ok(swept)
+    }
+
+    /// Orphaned objects deleted over this controller's lifetime.
+    pub fn orphans_swept(&self) -> u64 {
+        self.orphans_swept
     }
 
     /// The newest valid checkpoint, if any.
@@ -158,7 +228,7 @@ mod tests {
         chunk_bytes: usize,
     ) -> (Manifest, String) {
         let cid = CheckpointId(id);
-        let chunk_key = Manifest::chunk_key("job", cid, 0);
+        let chunk_key = Manifest::chunk_key("job", cid, 0, 0);
         store
             .put(&chunk_key, Bytes::from(vec![0u8; chunk_bytes]))
             .unwrap();
@@ -178,8 +248,17 @@ mod tests {
             top_mlp: vec![],
             chunks: vec![crate::manifest::ChunkMeta {
                 key: chunk_key,
+                shard: 0,
                 rows: 10,
                 bytes: chunk_bytes as u64,
+                parts: 1,
+            }],
+            shards: vec![crate::manifest::ShardMeta {
+                host: 0,
+                rows: 10,
+                chunks: 1,
+                bytes: chunk_bytes as u64,
+                parts: 1,
             }],
             payload_bytes: chunk_bytes as u64,
         };
@@ -207,7 +286,7 @@ mod tests {
         // Deleted objects are actually gone from the store.
         assert!(store.get(&Manifest::key("job", CheckpointId(1))).is_err());
         assert!(store
-            .get(&Manifest::chunk_key("job", CheckpointId(1), 0))
+            .get(&Manifest::chunk_key("job", CheckpointId(1), 0, 0))
             .is_err());
     }
 
@@ -267,6 +346,126 @@ mod tests {
             ctl.live(),
             vec![CheckpointId(0), CheckpointId(2), CheckpointId(3)]
         );
+    }
+
+    #[test]
+    fn register_sweeps_orphans_of_failed_writes() {
+        let store = Arc::new(InMemoryStore::new());
+        let mut ctl = CheckpointController::new(store.clone(), "job", 1);
+        // Debris of a write that died before its manifest: chunks and a
+        // staged multipart part under an id that never registered.
+        let dead = CheckpointId(0);
+        store
+            .put(
+                &Manifest::chunk_key("job", dead, 0, 0),
+                Bytes::from(vec![0u8; 64]),
+            )
+            .unwrap();
+        store
+            .put(
+                &format!("{}.mp-0000000000000001/000000", Manifest::chunk_key("job", dead, 1, 0)),
+                Bytes::from(vec![0u8; 32]),
+            )
+            .unwrap();
+        // Another job's objects must never be touched.
+        store.put("other/ckpt-00000000/x", Bytes::from(vec![1u8])).unwrap();
+
+        let (m1, k1) = store_ckpt(&store, 1, CheckpointKind::Full, None, 100);
+        ctl.register(&m1, &k1).unwrap();
+        assert_eq!(ctl.orphans_swept(), 2);
+        assert!(store.get(&Manifest::chunk_key("job", dead, 0, 0)).is_err());
+        assert!(store.get("other/ckpt-00000000/x").is_ok());
+        // Registered objects survive the sweep.
+        assert!(store.get(&k1).is_ok());
+        assert_eq!(store.total_bytes(), m1.total_bytes() + 1);
+    }
+
+    #[test]
+    fn sweep_never_eats_preexisting_manifested_checkpoints() {
+        // Crash recovery: a fresh controller over a store that already
+        // holds a valid chain must not delete it when registering new
+        // work — its restore chain stays readable.
+        let store = Arc::new(InMemoryStore::new());
+        let (_m0, k0) = store_ckpt(&store, 0, CheckpointKind::Full, None, 100);
+        let (_m1, k1) = store_ckpt(&store, 1, CheckpointKind::Incremental, Some(0), 40);
+
+        // (The in-memory retention registry can only walk chains it has
+        // registered itself, so the new work is a fresh full baseline; the
+        // sweep must still leave the unknown-but-manifested chain alone.)
+        let mut fresh = CheckpointController::new(store.clone(), "job", 1);
+        let (m2, k2) = store_ckpt(&store, 2, CheckpointKind::Full, None, 40);
+        fresh.register(&m2, &k2).unwrap();
+        assert_eq!(fresh.orphans_swept(), 0);
+        assert!(store.get(&k0).is_ok(), "pre-existing baseline survives");
+        assert!(store.get(&k1).is_ok(), "pre-existing delta survives");
+        assert!(
+            store
+                .get(&Manifest::chunk_key("job", CheckpointId(0), 0, 0))
+                .is_ok(),
+            "its chunks survive too"
+        );
+    }
+
+    #[test]
+    fn orphans_from_a_flaky_write_are_swept_on_next_register() {
+        use crate::config::CheckpointConfig;
+        use crate::policy::{Decision, TrackerAction};
+        use crate::snapshot::SnapshotTaker;
+        use crate::write::CheckpointWriter;
+        use cnr_cluster::SimClock;
+        use cnr_model::{DlrmModel, ModelConfig, ShardPlan};
+        use cnr_storage::FlakyStore;
+        use cnr_trainer::{Trainer, TrainerConfig};
+        use cnr_workload::{DatasetSpec, SyntheticDataset};
+
+        let spec = DatasetSpec::tiny(31);
+        let ds = SyntheticDataset::new(spec.clone());
+        let model_cfg = ModelConfig::for_dataset(&spec, 8);
+        let model = DlrmModel::new(model_cfg.clone());
+        let mut trainer = Trainer::new(model, SimClock::new(), TrainerConfig::default());
+        for i in 0..3 {
+            trainer.train_one(&ds.batch(i));
+        }
+        let snap = SnapshotTaker::new(ShardPlan::balanced(&model_cfg, 1, 2)).take(
+            &mut trainer,
+            cnr_reader::ReaderState::at(3),
+            Decision {
+                kind: CheckpointKind::Full,
+                tracker: TrackerAction::SnapshotReset,
+            },
+            &CheckpointConfig::default(),
+        );
+        let cfg = CheckpointConfig {
+            chunk_rows: 128,
+            ..CheckpointConfig::default()
+        };
+
+        // The 6th put dies: five chunks land, the write fails, and they are
+        // left orphaned under ckpt-0. The retry runs on healed storage.
+        let store = Arc::new(FlakyStore::with_mode(
+            InMemoryStore::new(),
+            cnr_storage::flaky::FailureMode::Once(6),
+        ));
+        let writer = CheckpointWriter::new(store.as_ref(), "job");
+        let failed = writer.write(&snap, CheckpointId(0), None, cnr_quant::QuantScheme::Fp32, &cfg);
+        assert!(failed.is_err(), "injected failure must surface");
+        let debris = store.list("job/").unwrap();
+        assert!(!debris.is_empty(), "failed write leaves orphaned chunks");
+
+        // The retry (against now-healthy storage) succeeds; registering it
+        // sweeps the debris of the failed attempt.
+        let mut ctl = CheckpointController::new(store.clone() as Arc<dyn ObjectStore>, "job", 1);
+        let rec = writer
+            .write(&snap, CheckpointId(1), None, cnr_quant::QuantScheme::Fp32, &cfg)
+            .unwrap();
+        ctl.register(&rec.manifest, &rec.manifest_key).unwrap();
+        assert_eq!(ctl.orphans_swept() as usize, debris.len());
+        for key in debris {
+            assert!(store.get(&key).is_err(), "orphan {key} must be gone");
+        }
+        // Exactly the registered checkpoint's objects remain.
+        let remaining = store.list("job/").unwrap();
+        assert_eq!(remaining.len(), rec.manifest.chunks.len() + 1);
     }
 
     #[test]

@@ -26,8 +26,8 @@ use crate::policy::PolicyEngine;
 use crate::restore::{self, RestoreReport};
 use crate::snapshot::SnapshotTaker;
 use crate::stats::{IntervalStats, RunStats};
-use crate::writer::{CheckpointRecord, CheckpointWriter};
-use cnr_cluster::{FailureModel, SimClock};
+use crate::write::{CheckpointRecord, CheckpointWriter};
+use cnr_cluster::{FailureModel, HostKill, SimClock};
 use cnr_model::{DlrmModel, ModelConfig, ShardPlan};
 use cnr_quant::QuantScheme;
 use cnr_reader::{ReaderConfig, ReaderMaster};
@@ -123,6 +123,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Shards the checkpoint writer over `hosts` simulated hosts, each
+    /// uploading its own row-range of every table over its own uplink.
+    /// Also raises the remote store's channel count to `hosts` (call
+    /// [`EngineBuilder::remote_config`] afterwards to override).
+    pub fn writer_hosts(mut self, hosts: usize) -> Self {
+        self.ckpt.writer_hosts = hosts;
+        self.remote.channels = self.remote.channels.max(hosts as u32);
+        self
+    }
+
     /// Builds the engine.
     pub fn build(self) -> Result<Engine> {
         self.ckpt.validate().map_err(CnrError::Config)?;
@@ -169,6 +179,7 @@ impl EngineBuilder {
             stats: RunStats::new(full_reference_bytes),
             batches_into_interval: 0,
             restores: 0,
+            uploads_durable_at: Duration::ZERO,
         })
     }
 }
@@ -207,6 +218,10 @@ pub struct Engine {
     stats: RunStats,
     batches_into_interval: u64,
     restores: u32,
+    /// Simulated time at which the most recent checkpoint's uploads become
+    /// durable. The engine polls this at interval boundaries (§4.3
+    /// non-overlap) instead of blocking on the store.
+    uploads_durable_at: Duration,
 }
 
 impl Engine {
@@ -234,10 +249,26 @@ impl Engine {
     /// Takes a checkpoint immediately (normally called at interval
     /// boundaries by [`Engine::train_batches`]).
     pub fn checkpoint_now(&mut self) -> Result<CheckpointRecord> {
+        self.checkpoint_inner(None)
+    }
+
+    /// Takes a checkpoint during which writer host `kill.host` dies
+    /// mid-upload: its in-flight chunk is aborted and its unfinished rows
+    /// are re-sharded onto the surviving hosts, so the checkpoint still
+    /// completes and restores exactly (§4.4 validity under node failures).
+    /// Errors if the engine has a single writer host (no survivors).
+    pub fn checkpoint_now_killing_host(&mut self, kill: HostKill) -> Result<CheckpointRecord> {
+        self.checkpoint_inner(Some(kill))
+    }
+
+    fn checkpoint_inner(&mut self, kill: Option<HostKill>) -> Result<CheckpointRecord> {
         // §4.3: the previous checkpoint must be fully written (or cancelled)
         // before a new one starts; waiting also models "the current
-        // checkpoint can utilize all available resources".
-        self.store.wait_for_drain();
+        // checkpoint can utilize all available resources". Poll the pending
+        // durability point and advance only the remaining time — if
+        // training already ran past it, the uploads overlapped completely
+        // and there is no wait at all.
+        self.clock.advance_to(self.uploads_durable_at);
 
         let reader_state = self.reader.collect_state();
         let decision = self.policy.decide();
@@ -262,7 +293,9 @@ impl Engine {
         }
 
         let writer = CheckpointWriter::new(self.store.as_ref(), &self.job);
-        let record = writer.write(&snapshot, id, base, scheme, &self.config)?;
+        let record =
+            writer.write_with_failures(&snapshot, id, base, scheme, &self.config, kill)?;
+        self.uploads_durable_at = record.completed_at;
 
         // Feed the intermittent predictor with the size as a fraction of the
         // last full checkpoint in the same encoding.
@@ -470,6 +503,13 @@ impl Engine {
     /// Restores performed so far.
     pub fn restores(&self) -> u32 {
         self.restores
+    }
+
+    /// Remaining simulated upload time of the most recent checkpoint: zero
+    /// once training has run past its durability point. This is the poll
+    /// the §4.3 non-overlap rule turns into a wait only when positive.
+    pub fn upload_backlog(&self) -> Duration {
+        self.uploads_durable_at.saturating_sub(self.clock.now())
     }
 
     /// The engine's checkpoint configuration.
@@ -693,6 +733,59 @@ mod tests {
         assert_eq!(report.failures, 0);
         assert_eq!(report.wasted_batches, 0);
         assert_eq!(report.wall_batches, 25);
+    }
+
+    #[test]
+    fn sharded_engine_checkpoints_and_restores_identically() {
+        let mut sharded = builder().writer_hosts(4).build().unwrap();
+        sharded.train_batches(10).unwrap();
+        let hash = sharded.trainer().model().state_hash();
+        sharded.train_batches(3).unwrap();
+        let report = sharded.simulate_failure_and_restore().unwrap();
+        assert_eq!(report.state.iteration, 10);
+        assert!(report.shards_merged >= 4, "restore merged the shards");
+        assert_eq!(sharded.trainer().model().state_hash(), hash);
+
+        // Sharding is invisible to training semantics: same batches, same
+        // model state as a single-host engine.
+        let mut single = builder().build().unwrap();
+        single.train_batches(10).unwrap();
+        assert_eq!(single.trainer().model().state_hash(), hash);
+    }
+
+    #[test]
+    fn engine_survives_writer_host_death_mid_upload() {
+        let mut e = builder().writer_hosts(4).build().unwrap();
+        // Stop short of the interval boundary: the manual checkpoint below
+        // is the first (full) one, so every host owns chunks to lose.
+        e.train_batches(4).unwrap();
+        let hash = e.trainer().model().state_hash();
+        let rec = e
+            .checkpoint_now_killing_host(HostKill {
+                host: 1,
+                after_chunks: 0,
+            })
+            .unwrap();
+        assert_eq!(rec.killed_hosts, vec![1]);
+        // The checkpoint completed despite the death and restores exactly.
+        let report = e.simulate_failure_and_restore().unwrap();
+        assert_eq!(report.state.iteration, 4);
+        assert_eq!(e.trainer().model().state_hash(), hash);
+    }
+
+    #[test]
+    fn upload_backlog_is_polled_not_blocked_on() {
+        let mut e = builder().build().unwrap();
+        assert_eq!(e.upload_backlog(), Duration::ZERO, "nothing written yet");
+        e.train_batches(5).unwrap();
+        // Right after the interval's checkpoint the uploads are still
+        // draining in the background.
+        let backlog = e.upload_backlog();
+        assert!(backlog > Duration::ZERO);
+        // Training advances the clock; the backlog only shrinks, and the
+        // next boundary waits out at most what is left.
+        e.train_batches(2).unwrap();
+        assert!(e.upload_backlog() <= backlog);
     }
 
     #[test]

@@ -75,6 +75,7 @@ mod tests {
             bandwidth_bytes_per_sec: bw_mb * 1024.0 * 1024.0,
             base_latency: Duration::from_millis(10),
             replication: 3,
+            channels: 1,
         }
     }
 

@@ -10,8 +10,9 @@
 //!   predictor (§5.1).
 //! * [`bitwidth`] — dynamic quantization bit-width selection from the
 //!   expected number of restores, with automatic 8-bit fallback (§6.2.1).
-//! * [`writer`] — the chunked, pipelined quantize-and-store pipeline running
-//!   on background threads (§4.4 step 2–3).
+//! * [`write`] — the sharded, pipelined quantize-and-store write path
+//!   running on background threads (§4.4 step 2–3): per-host chunkers and
+//!   shard writers feeding a windowed multipart upload scheduler.
 //! * [`manifest`] + [`wire`] — the self-describing checkpoint format with
 //!   checksummed chunks.
 //! * [`restore`] — chain reconstruction: follow base pointers from any
@@ -39,7 +40,7 @@ pub mod restore;
 pub mod snapshot;
 pub mod stats;
 pub mod wire;
-pub mod writer;
+pub mod write;
 
 pub use bitwidth::BitwidthSelector;
 pub use config::{CheckpointConfig, PolicyKind, QuantMode};
@@ -48,6 +49,7 @@ pub use error::CnrError;
 pub use manifest::{CheckpointId, CheckpointKind, Manifest};
 pub use snapshot::TrainingSnapshot;
 pub use stats::IntervalStats;
+pub use write::{CheckpointRecord, CheckpointWriter, UploadScheduler, UploadStatus};
 
 /// Adapter exposing an embedding table snapshot to `cnr-quant`'s
 /// [`cnr_quant::RowSource`] trait (error metrics, parameter selection).

@@ -50,10 +50,30 @@ pub struct TableMeta {
 pub struct ChunkMeta {
     /// Object key in the store.
     pub key: String,
+    /// Writer host (shard) that produced and uploaded the chunk.
+    pub shard: u16,
     /// Embedding rows in the chunk.
     pub rows: u32,
     /// Serialized size in bytes.
     pub bytes: u64,
+    /// Multipart parts the chunk was uploaded in (1 = single part).
+    pub parts: u32,
+}
+
+/// Per-writer-host summary of a sharded checkpoint (§4.4: every trainer
+/// host uploads its own row-range of every table in parallel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardMeta {
+    /// Writer host index.
+    pub host: u16,
+    /// Embedding rows this host stored.
+    pub rows: u64,
+    /// Chunks this host stored.
+    pub chunks: u32,
+    /// Payload bytes this host stored.
+    pub bytes: u64,
+    /// Multipart parts this host uploaded.
+    pub parts: u32,
 }
 
 /// The checkpoint manifest.
@@ -77,14 +97,20 @@ pub struct Manifest {
     pub bottom_mlp: Vec<f32>,
     /// Flattened top-MLP parameters.
     pub top_mlp: Vec<f32>,
-    /// Stored chunks in application order.
+    /// Stored chunks, ordered by (shard, per-shard sequence). Chunks of one
+    /// checkpoint cover disjoint rows, so application order across chunks
+    /// is immaterial; the ordering is for determinism.
     pub chunks: Vec<ChunkMeta>,
+    /// Per-writer-host summaries, ascending by host. A single-host write
+    /// has exactly one entry; a write that lost hosts mid-upload lists only
+    /// the hosts whose chunks the manifest references.
+    pub shards: Vec<ShardMeta>,
     /// Total chunk payload bytes.
     pub payload_bytes: u64,
 }
 
 const MAGIC: u32 = 0x434E_524D; // "CNRM"
-const VERSION: u16 = 1;
+const VERSION: u16 = 2;
 
 impl Manifest {
     /// Storage key for a manifest of checkpoint `id` under `job`.
@@ -92,9 +118,12 @@ impl Manifest {
         format!("{job}/{id}/manifest")
     }
 
-    /// Storage key for chunk `seq` of checkpoint `id` under `job`.
-    pub fn chunk_key(job: &str, id: CheckpointId, seq: u32) -> String {
-        format!("{job}/{id}/chunk-{seq:06}")
+    /// Storage key for chunk `seq` uploaded by writer host `shard` of
+    /// checkpoint `id` under `job`. The shard is padded to the full `u16`
+    /// width so keys sort lexicographically in (shard, seq) order for any
+    /// permitted host count.
+    pub fn chunk_key(job: &str, id: CheckpointId, shard: u16, seq: u32) -> String {
+        format!("{job}/{id}/shard-{shard:05}-chunk-{seq:06}")
     }
 
     /// Serializes the manifest (framed + checksummed).
@@ -120,8 +149,18 @@ impl Manifest {
         body.put_u32_le(self.chunks.len() as u32);
         for c in &self.chunks {
             wire::put_string(&mut body, &c.key);
+            body.put_u16_le(c.shard);
             body.put_u32_le(c.rows);
             body.put_u64_le(c.bytes);
+            body.put_u32_le(c.parts);
+        }
+        body.put_u16_le(self.shards.len() as u16);
+        for s in &self.shards {
+            body.put_u16_le(s.host);
+            body.put_u64_le(s.rows);
+            body.put_u32_le(s.chunks);
+            body.put_u64_le(s.bytes);
+            body.put_u32_le(s.parts);
         }
         body.put_u64_le(self.payload_bytes);
 
@@ -176,8 +215,21 @@ impl Manifest {
         for _ in 0..chunk_count {
             chunks.push(ChunkMeta {
                 key: wire::get_string(b)?,
+                shard: wire::get_u16(b)?,
                 rows: wire::get_u32(b)?,
                 bytes: wire::get_u64(b)?,
+                parts: wire::get_u32(b)?,
+            });
+        }
+        let shard_count = wire::get_u16(b)? as usize;
+        let mut shards = Vec::with_capacity(shard_count);
+        for _ in 0..shard_count {
+            shards.push(ShardMeta {
+                host: wire::get_u16(b)?,
+                rows: wire::get_u64(b)?,
+                chunks: wire::get_u32(b)?,
+                bytes: wire::get_u64(b)?,
+                parts: wire::get_u32(b)?,
             });
         }
         let payload_bytes = wire::get_u64(b)?;
@@ -193,6 +245,7 @@ impl Manifest {
             bottom_mlp,
             top_mlp,
             chunks,
+            shards,
             payload_bytes,
         })
     }
@@ -391,14 +444,34 @@ mod tests {
             top_mlp: vec![1.0, 2.0],
             chunks: vec![
                 ChunkMeta {
-                    key: "job/ckpt-00000042/chunk-000000".into(),
+                    key: "job/ckpt-00000042/shard-000-chunk-000000".into(),
+                    shard: 0,
                     rows: 4096,
                     bytes: 65536,
+                    parts: 2,
                 },
                 ChunkMeta {
-                    key: "job/ckpt-00000042/chunk-000001".into(),
+                    key: "job/ckpt-00000042/shard-001-chunk-000000".into(),
+                    shard: 1,
                     rows: 100,
                     bytes: 1600,
+                    parts: 1,
+                },
+            ],
+            shards: vec![
+                ShardMeta {
+                    host: 0,
+                    rows: 4096,
+                    chunks: 1,
+                    bytes: 65536,
+                    parts: 2,
+                },
+                ShardMeta {
+                    host: 1,
+                    rows: 100,
+                    chunks: 1,
+                    bytes: 1600,
+                    parts: 1,
                 },
             ],
             payload_bytes: 67136,
@@ -467,8 +540,14 @@ mod tests {
         let id = CheckpointId(7);
         assert_eq!(Manifest::key("jobA", id), "jobA/ckpt-00000007/manifest");
         assert_eq!(
-            Manifest::chunk_key("jobA", id, 3),
-            "jobA/ckpt-00000007/chunk-000003"
+            Manifest::chunk_key("jobA", id, 2, 3),
+            "jobA/ckpt-00000007/shard-00002-chunk-000003"
+        );
+        // Lexicographic key order == (shard, seq) order across the whole
+        // u16 shard space (the regression was 3-digit padding: "1000" <
+        // "999").
+        assert!(
+            Manifest::chunk_key("j", id, 999, 0) < Manifest::chunk_key("j", id, 1000, 0)
         );
     }
 

@@ -35,6 +35,9 @@ pub struct RestoreReport {
     pub scheme: QuantScheme,
     /// Rows written while applying the chain (with overwrite multiplicity).
     pub rows_applied: u64,
+    /// Writer-host shards merged across the applied manifests (a
+    /// single-host chain of N checkpoints merges N shards).
+    pub shards_merged: usize,
     /// Logical bytes fetched from the store.
     pub bytes_read: u64,
     /// Union of rows covered by the *incremental* checkpoints in the chain.
@@ -104,8 +107,29 @@ pub fn restore(
     let mut incremental_rows = TrackerSnapshot::empty(&row_counts);
 
     let mut rows_applied = 0u64;
+    let mut shards_merged = 0usize;
     let mut bytes_read = 0u64;
     for manifest in &chain_manifests {
+        // Shard-merge integrity: the per-host summaries must account for
+        // exactly the chunks the manifest references. A mismatch means a
+        // writer host's output was lost after the manifest was written.
+        let shard_rows: u64 = manifest.shards.iter().map(|s| s.rows).sum();
+        let chunk_rows: u64 = manifest.chunks.iter().map(|c| c.rows as u64).sum();
+        if shard_rows != chunk_rows {
+            return Err(CnrError::Corrupt(format!(
+                "manifest {} shard summaries cover {shard_rows} rows but chunks cover {chunk_rows}",
+                manifest.id
+            )));
+        }
+        for chunk in &manifest.chunks {
+            if !manifest.shards.iter().any(|s| s.host == chunk.shard) {
+                return Err(CnrError::Corrupt(format!(
+                    "chunk {} belongs to unknown shard {}",
+                    chunk.key, chunk.shard
+                )));
+            }
+        }
+        shards_merged += manifest.shards.len();
         for chunk_meta in &manifest.chunks {
             let bytes = store.get(&chunk_meta.key)?;
             bytes_read += bytes.len() as u64;
@@ -156,6 +180,7 @@ pub fn restore(
         reader: newest.reader_state,
         scheme: newest.scheme,
         rows_applied,
+        shards_merged,
         bytes_read,
         incremental_rows,
     })
@@ -167,7 +192,7 @@ mod tests {
     use crate::config::CheckpointConfig;
     use crate::policy::{Decision, TrackerAction};
     use crate::snapshot::SnapshotTaker;
-    use crate::writer::CheckpointWriter;
+    use crate::write::CheckpointWriter;
     use cnr_cluster::SimClock;
     use cnr_model::{DlrmModel, ShardPlan};
     use cnr_storage::InMemoryStore;

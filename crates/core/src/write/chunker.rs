@@ -1,0 +1,215 @@
+//! Chunking and sharding of a snapshot's delta (§4.4 step 2).
+//!
+//! The snapshot's modified rows are partitioned twice:
+//!
+//! 1. **across writer hosts** — every table's row space is split into
+//!    `writer_hosts` contiguous ranges; host `h` owns range `h` of *every*
+//!    table, mirroring how the production deployment shards embedding
+//!    tables over trainer hosts;
+//! 2. **into chunks** — within a host, modified rows batch into chunks of
+//!    at most `chunk_rows`, the pipelining granularity that lets uploads
+//!    overlap quantization (§6.1).
+//!
+//! Chunk contents depend only on the snapshot and the configuration, never
+//! on execution timing, so sharded checkpoints are deterministic.
+
+use crate::config::CheckpointConfig;
+use crate::snapshot::TrainingSnapshot;
+use cnr_model::state::TableState;
+use std::ops::Range;
+
+/// One unit of pipeline work: a run of modified rows of one table, owned
+/// by one writer host.
+#[derive(Debug, Clone)]
+pub struct WorkItem {
+    /// Writer host that owns (and uploads) this chunk.
+    pub shard: u16,
+    /// Per-shard chunk sequence number.
+    pub seq: u32,
+    /// Table the rows belong to.
+    pub table: u16,
+    /// Ascending row indices within the table.
+    pub indices: Vec<u32>,
+    /// Row data copied from the snapshot, `indices.len() × dim`.
+    pub data: Vec<f32>,
+    /// Optimizer accumulators, one per row, when present.
+    pub acc: Option<Vec<f32>>,
+    /// Embedding dimension.
+    pub dim: usize,
+}
+
+/// Contiguous row-range of a `rows`-row table owned by shard `h` of
+/// `hosts`. The ranges partition `0..rows` exactly; sizes differ by at
+/// most one row, so non-divisible row counts stay fully covered.
+pub fn shard_range(rows: usize, hosts: usize, h: usize) -> Range<usize> {
+    assert!(hosts >= 1 && h < hosts, "shard {h} of {hosts}");
+    (rows * h / hosts)..(rows * (h + 1) / hosts)
+}
+
+/// Splits the snapshot's delta into per-host work items, `hosts` =
+/// `config.writer_hosts`. Returns one item list per host (possibly empty —
+/// small tables may leave trailing hosts idle).
+pub fn plan(snapshot: &TrainingSnapshot, config: &CheckpointConfig) -> Vec<Vec<WorkItem>> {
+    let hosts = config.writer_hosts.max(1);
+    let mut shards: Vec<Vec<WorkItem>> = (0..hosts).map(|_| Vec::new()).collect();
+    let mut seqs = vec![0u32; hosts];
+
+    for (t, table_state) in snapshot.model.tables.iter().enumerate() {
+        let mask = &snapshot.delta.tables[t];
+        let rows = mask.len();
+        let dim = table_state.data.len().checked_div(rows).unwrap_or(0);
+        let mut h = 0usize;
+        let mut end = shard_range(rows, hosts, 0).end;
+        let mut indices: Vec<u32> = Vec::with_capacity(config.chunk_rows.min(rows));
+        for row in mask.iter_ones() {
+            while row >= end {
+                flush(&mut indices, h, t, dim, table_state, &mut shards, &mut seqs);
+                h += 1;
+                end = shard_range(rows, hosts, h).end;
+            }
+            indices.push(row as u32);
+            if indices.len() >= config.chunk_rows {
+                flush(&mut indices, h, t, dim, table_state, &mut shards, &mut seqs);
+            }
+        }
+        flush(&mut indices, h, t, dim, table_state, &mut shards, &mut seqs);
+    }
+    shards
+}
+
+/// Materializes the accumulated `indices` into a [`WorkItem`] on shard `h`.
+fn flush(
+    indices: &mut Vec<u32>,
+    h: usize,
+    table: usize,
+    dim: usize,
+    table_state: &TableState,
+    shards: &mut [Vec<WorkItem>],
+    seqs: &mut [u32],
+) {
+    if indices.is_empty() {
+        return;
+    }
+    let mut data = Vec::with_capacity(indices.len() * dim);
+    let mut acc = table_state
+        .adagrad
+        .as_ref()
+        .map(|_| Vec::with_capacity(indices.len()));
+    for &row in indices.iter() {
+        let r = row as usize;
+        data.extend_from_slice(&table_state.data[r * dim..(r + 1) * dim]);
+        if let (Some(acc), Some(src)) = (acc.as_mut(), &table_state.adagrad) {
+            acc.push(src[r]);
+        }
+    }
+    shards[h].push(WorkItem {
+        shard: h as u16,
+        seq: seqs[h],
+        table: table as u16,
+        indices: std::mem::take(indices),
+        data,
+        acc,
+        dim,
+    });
+    seqs[h] += 1;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_ranges_partition_exactly() {
+        for rows in [0usize, 1, 7, 100, 1001] {
+            for hosts in [1usize, 2, 3, 7, 8] {
+                let mut covered = 0usize;
+                let mut prev_end = 0usize;
+                for h in 0..hosts {
+                    let r = shard_range(rows, hosts, h);
+                    assert_eq!(r.start, prev_end, "ranges must be contiguous");
+                    prev_end = r.end;
+                    covered += r.len();
+                }
+                assert_eq!(prev_end, rows);
+                assert_eq!(covered, rows);
+                // Balance: sizes differ by at most one.
+                let sizes: Vec<usize> =
+                    (0..hosts).map(|h| shard_range(rows, hosts, h).len()).collect();
+                let min = sizes.iter().min().unwrap();
+                let max = sizes.iter().max().unwrap();
+                assert!(max - min <= 1, "unbalanced: {sizes:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn items_respect_shard_ownership() {
+        use crate::manifest::CheckpointKind;
+        use crate::policy::{Decision, TrackerAction};
+        use crate::snapshot::SnapshotTaker;
+        use cnr_cluster::SimClock;
+        use cnr_model::{DlrmModel, ModelConfig, ShardPlan};
+        use cnr_reader::ReaderState;
+        use cnr_trainer::{Trainer, TrainerConfig};
+        use cnr_workload::{DatasetSpec, SyntheticDataset};
+
+        let spec = DatasetSpec::tiny(13);
+        let ds = SyntheticDataset::new(spec.clone());
+        let cfg = ModelConfig::for_dataset(&spec, 8);
+        let model = DlrmModel::new(cfg);
+        let mut trainer = Trainer::new(model, SimClock::new(), TrainerConfig::default());
+        for i in 0..3 {
+            trainer.train_one(&ds.batch(i));
+        }
+        let snap = SnapshotTaker::new(ShardPlan::balanced(
+            trainer.model().config(),
+            1,
+            2,
+        ))
+        .take(
+            &mut trainer,
+            ReaderState::at(3),
+            Decision {
+                kind: CheckpointKind::Full,
+                tracker: TrackerAction::SnapshotReset,
+            },
+            &CheckpointConfig::default(),
+        );
+
+        let config = CheckpointConfig {
+            writer_hosts: 3,
+            chunk_rows: 64,
+            ..CheckpointConfig::default()
+        };
+        let shards = plan(&snap, &config);
+        assert_eq!(shards.len(), 3);
+
+        let total_rows: usize = shards
+            .iter()
+            .flatten()
+            .map(|i| i.indices.len())
+            .sum();
+        assert_eq!(total_rows, snap.delta.total_rows(), "full coverage");
+
+        for (h, items) in shards.iter().enumerate() {
+            for (seen_seq, item) in items.iter().enumerate() {
+                assert_eq!(item.shard as usize, h);
+                assert_eq!(item.seq as usize, seen_seq, "per-shard seqs are dense");
+                let rows = snap.delta.tables[item.table as usize].len();
+                let range = shard_range(rows, 3, h);
+                for &row in &item.indices {
+                    assert!(range.contains(&(row as usize)), "row outside shard range");
+                }
+                assert!(item.indices.len() <= 64);
+                assert_eq!(item.data.len(), item.indices.len() * item.dim);
+            }
+        }
+
+        // Planning is deterministic.
+        let again = plan(&snap, &config);
+        for (a, b) in shards.iter().flatten().zip(again.iter().flatten()) {
+            assert_eq!(a.indices, b.indices);
+            assert_eq!(a.seq, b.seq);
+        }
+    }
+}

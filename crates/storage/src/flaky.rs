@@ -6,9 +6,11 @@
 //! only matters if failures actually reach the writer pipeline, so tests
 //! wrap their store in [`FlakyStore`] to inject deterministic failures.
 
+use crate::multipart::{MultipartUpload, PartReceipt};
 use crate::{ObjectMeta, ObjectStore, PutReceipt, Result, StorageError};
 use bytes::Bytes;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
 
 /// When the wrapper injects put failures.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -17,6 +19,10 @@ pub enum FailureMode {
     Every(u64),
     /// Fail the first `n` puts, then heal (transient outage).
     FirstN(u64),
+    /// Fail exactly the `n`-th put (1-based), once — a single blip, e.g. a
+    /// writer dying partway through one checkpoint while its retry runs
+    /// against healthy storage.
+    Once(u64),
 }
 
 /// Wraps a store, injecting deterministic put failures: failures depend
@@ -58,14 +64,15 @@ impl<S: ObjectStore> FlakyStore<S> {
     pub fn failures_injected(&self) -> u64 {
         self.failures_injected.load(Ordering::Relaxed)
     }
-}
 
-impl<S: ObjectStore> ObjectStore for FlakyStore<S> {
-    fn put(&self, key: &str, data: Bytes) -> Result<PutReceipt> {
+    /// Counts one write attempt (whole-object put or multipart part) and
+    /// decides whether to inject a failure for it.
+    fn should_fail(&self, key: &str) -> Result<()> {
         let n = self.puts.fetch_add(1, Ordering::Relaxed) + 1;
         let fail = match self.mode {
             FailureMode::Every(every) => every > 0 && n.is_multiple_of(every),
             FailureMode::FirstN(first) => n <= first,
+            FailureMode::Once(nth) => n == nth,
         };
         if fail {
             self.failures_injected.fetch_add(1, Ordering::Relaxed);
@@ -74,6 +81,13 @@ impl<S: ObjectStore> ObjectStore for FlakyStore<S> {
                 format!("injected failure on put #{n} ({key})"),
             )));
         }
+        Ok(())
+    }
+}
+
+impl<S: ObjectStore> ObjectStore for FlakyStore<S> {
+    fn put(&self, key: &str, data: Bytes) -> Result<PutReceipt> {
+        self.should_fail(key)?;
         self.inner.put(key, data)
     }
 
@@ -95,6 +109,33 @@ impl<S: ObjectStore> ObjectStore for FlakyStore<S> {
 
     fn total_bytes(&self) -> u64 {
         self.inner.total_bytes()
+    }
+
+    // Multipart forwards to the inner store (so native implementations keep
+    // their timing semantics) with failure injection on each part — parts
+    // and whole-object puts share one operation counter.
+
+    fn begin_multipart(&self, key: &str) -> Result<MultipartUpload> {
+        self.inner.begin_multipart(key)
+    }
+
+    fn put_part(
+        &self,
+        up: &MultipartUpload,
+        part: u32,
+        data: Bytes,
+        not_before: Duration,
+    ) -> Result<PartReceipt> {
+        self.should_fail(&up.key)?;
+        self.inner.put_part(up, part, data, not_before)
+    }
+
+    fn complete_multipart(&self, up: &MultipartUpload) -> Result<PutReceipt> {
+        self.inner.complete_multipart(up)
+    }
+
+    fn abort_multipart(&self, up: &MultipartUpload) -> Result<()> {
+        self.inner.abort_multipart(up)
     }
 }
 
@@ -127,6 +168,17 @@ mod tests {
     }
 
     #[test]
+    fn once_mode_fails_exactly_one_put() {
+        let store = FlakyStore::with_mode(InMemoryStore::new(), FailureMode::Once(2));
+        assert!(store.put("a", Bytes::from_static(b"x")).is_ok());
+        assert!(store.put("b", Bytes::from_static(b"x")).is_err());
+        for i in 0..10 {
+            assert!(store.put(&format!("c{i}"), Bytes::from_static(b"x")).is_ok());
+        }
+        assert_eq!(store.failures_injected(), 1);
+    }
+
+    #[test]
     fn first_n_mode_heals() {
         let store = FlakyStore::failing_first(InMemoryStore::new(), 2);
         assert!(store.put("a", Bytes::from_static(b"x")).is_err());
@@ -134,6 +186,21 @@ mod tests {
         assert!(store.put("c", Bytes::from_static(b"x")).is_ok());
         assert!(store.put("d", Bytes::from_static(b"x")).is_ok());
         assert_eq!(store.failures_injected(), 2);
+    }
+
+    #[test]
+    fn parts_share_the_injection_counter() {
+        let store = FlakyStore::new(InMemoryStore::new(), 2);
+        let up = store.begin_multipart("obj").unwrap();
+        let z = Duration::ZERO;
+        assert!(store.put_part(&up, 0, Bytes::from_static(b"a"), z).is_ok());
+        // Part #2 is the second write: injected.
+        assert!(store.put_part(&up, 1, Bytes::from_static(b"b"), z).is_err());
+        // Retrying the same part succeeds and the object assembles cleanly.
+        assert!(store.put_part(&up, 1, Bytes::from_static(b"b"), z).is_ok());
+        store.complete_multipart(&up).unwrap();
+        assert_eq!(store.get("obj").unwrap(), Bytes::from_static(b"ab"));
+        assert_eq!(store.failures_injected(), 1);
     }
 
     #[test]

@@ -22,13 +22,17 @@ pub mod flaky;
 pub mod fs;
 pub mod memory;
 pub mod metrics;
+pub mod multipart;
 pub mod remote;
+pub mod tiered;
 
 pub use flaky::FlakyStore;
 pub use fs::FsStore;
 pub use memory::InMemoryStore;
 pub use metrics::{CapacityPoint, StoreMetrics};
+pub use multipart::{MultipartUpload, PartReceipt};
 pub use remote::{RemoteConfig, SimulatedRemoteStore};
+pub use tiered::TieredStore;
 
 use bytes::Bytes;
 use std::time::Duration;
@@ -120,6 +124,72 @@ pub trait ObjectStore: Send + Sync {
 
     /// Sum of logical object sizes currently held (capacity accounting).
     fn total_bytes(&self) -> u64;
+
+    // --- Multipart protocol (see [`multipart`]). ------------------------
+    //
+    // The default implementation is stateless: parts are buffered as hidden
+    // staging objects under `<key>.mp-<id>/` via `put`, and `complete`
+    // assembles them with `get` + `put` + `delete`. Backends with their own
+    // transfer semantics (bandwidth simulation, real multipart endpoints)
+    // should override all four methods together.
+
+    /// Starts a multipart upload that will materialize at `key` on
+    /// [`ObjectStore::complete_multipart`]. Nothing is visible at `key`
+    /// until then.
+    fn begin_multipart(&self, key: &str) -> Result<MultipartUpload> {
+        if key.is_empty() {
+            return Err(StorageError::InvalidKey("empty key".into()));
+        }
+        Ok(MultipartUpload {
+            key: key.to_string(),
+            id: multipart::next_upload_id(),
+            channel: 0,
+        })
+    }
+
+    /// Uploads part `part` (0-based, contiguous) of `up`. `not_before` is
+    /// the earliest *simulated* time the transfer may start — upload
+    /// schedulers use it to enforce a bounded in-flight window; local
+    /// instantaneous backends ignore it.
+    fn put_part(
+        &self,
+        up: &MultipartUpload,
+        part: u32,
+        data: Bytes,
+        not_before: Duration,
+    ) -> Result<PartReceipt> {
+        let r = self.put(&up.part_key(part), data)?;
+        Ok(PartReceipt {
+            part,
+            bytes: r.bytes,
+            transfer_time: r.transfer_time,
+            completed_at: r.completed_at.max(not_before),
+        })
+    }
+
+    /// Assembles all uploaded parts of `up` into the final object at
+    /// `up.key`. Returns the receipt of the assembled object.
+    fn complete_multipart(&self, up: &MultipartUpload) -> Result<PutReceipt> {
+        let part_keys = self.list(&up.part_prefix())?;
+        let mut joined = Vec::new();
+        for k in &part_keys {
+            joined.extend_from_slice(&self.get(k)?);
+        }
+        let receipt = self.put(&up.key, Bytes::from(joined))?;
+        for k in &part_keys {
+            self.delete(k)?;
+        }
+        Ok(receipt)
+    }
+
+    /// Abandons `up`, discarding every uploaded part. Nothing becomes
+    /// visible at `up.key`. Aborting an upload with no parts is a no-op.
+    fn abort_multipart(&self, up: &MultipartUpload) -> Result<()> {
+        for k in self.list(&up.part_prefix())? {
+            self.delete(&k)?;
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -169,5 +239,58 @@ mod trait_tests {
         // empty object
         store.put("empty", Bytes::new()).unwrap();
         assert_eq!(store.get("empty").unwrap().len(), 0);
+
+        multipart_conformance(store);
+    }
+
+    pub(crate) fn multipart_conformance(store: &dyn ObjectStore) {
+        let before = store.total_bytes();
+
+        // Nothing is visible at the key until complete.
+        let up = store.begin_multipart("mp/obj").unwrap();
+        store
+            .put_part(&up, 0, Bytes::from_static(b"hello "), Duration::ZERO)
+            .unwrap();
+        store
+            .put_part(&up, 1, Bytes::from_static(b"world"), Duration::ZERO)
+            .unwrap();
+        assert!(matches!(
+            store.get("mp/obj"),
+            Err(StorageError::NotFound(_))
+        ));
+
+        // Complete assembles parts in order and leaves no staging debris.
+        let r = store.complete_multipart(&up).unwrap();
+        assert_eq!(r.bytes, 11);
+        assert_eq!(
+            store.get("mp/obj").unwrap(),
+            Bytes::from_static(b"hello world")
+        );
+        assert_eq!(store.list(&up.part_prefix()).unwrap(), Vec::<String>::new());
+        assert_eq!(store.total_bytes(), before + 11);
+
+        // Abort discards parts; the target key stays untouched.
+        let up2 = store.begin_multipart("mp/aborted").unwrap();
+        store
+            .put_part(&up2, 0, Bytes::from_static(b"junk"), Duration::ZERO)
+            .unwrap();
+        store.abort_multipart(&up2).unwrap();
+        assert!(matches!(
+            store.get("mp/aborted"),
+            Err(StorageError::NotFound(_))
+        ));
+        assert_eq!(store.list(&up2.part_prefix()).unwrap(), Vec::<String>::new());
+        assert_eq!(store.total_bytes(), before + 11);
+
+        // Aborting an empty upload is a no-op.
+        let up3 = store.begin_multipart("mp/never").unwrap();
+        store.abort_multipart(&up3).unwrap();
+
+        // Distinct uploads get distinct ids.
+        let a = store.begin_multipart("mp/x").unwrap();
+        let b = store.begin_multipart("mp/x").unwrap();
+        assert_ne!(a.id, b.id);
+
+        store.delete("mp/obj").unwrap();
     }
 }

@@ -6,32 +6,49 @@
 //! cancelled before a new checkpoint can be created. That way, the current
 //! checkpoint can utilize all available resources."
 //!
-//! [`SimulatedRemoteStore`] models exactly that regime: a single serialized
-//! transfer channel with configurable bandwidth and per-object latency.
-//! Each `put` reserves the channel from `max(now, channel_free)` for
-//! `latency + replicated_bytes/bandwidth` and reports when the object became
-//! durable. The global [`SimClock`] is *not* advanced by writes — uploads
-//! run in background CPU processes while training continues (§4.2); the
-//! checkpoint controller decides when it must wait (non-overlap rule) and
-//! advances the clock then.
+//! [`SimulatedRemoteStore`] models exactly that regime: `channels` parallel
+//! serialized transfer uplinks, each of configurable bandwidth, with a
+//! per-object (or per-part) latency. Every transfer reserves one channel
+//! from `max(now, channel_free, not_before)` for
+//! `latency + replicated_bytes/bandwidth` and reports when the data became
+//! durable. In the production deployment each trainer host writes its shard
+//! over its own uplink (§4.4), which is what `channels > 1` models: a
+//! sharded writer pins each host's uploads to one channel, so aggregate
+//! write bandwidth scales with the host count. The global [`SimClock`] is
+//! *not* advanced by writes — uploads run in background CPU processes while
+//! training continues (§4.2); the checkpoint controller decides when it
+//! must wait (non-overlap rule) and advances the clock then.
+//!
+//! The multipart protocol is implemented natively: parts buffer in memory
+//! and are charged on the upload's channel individually (per-part bandwidth
+//! accounting), `complete` makes the assembled object visible at the key,
+//! and `abort` discards the buffered parts (bandwidth already spent stays
+//! spent — the bytes really crossed the wire).
 
 use crate::metrics::StoreMetrics;
-use crate::{InMemoryStore, ObjectMeta, ObjectStore, PutReceipt, Result};
+use crate::multipart::{next_upload_id, MultipartUpload, PartReceipt};
+use crate::{InMemoryStore, ObjectMeta, ObjectStore, PutReceipt, Result, StorageError};
 use bytes::Bytes;
 use cnr_cluster::SimClock;
 use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::collections::HashMap;
 use std::sync::Arc;
 use std::time::Duration;
 
 /// Configuration of the simulated remote store.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RemoteConfig {
-    /// Sustained write bandwidth in bytes/second (shared channel).
+    /// Sustained write bandwidth in bytes/second *per channel*.
     pub bandwidth_bytes_per_sec: f64,
-    /// Fixed per-object latency (request + commit round trips).
+    /// Fixed per-transfer latency (request + commit round trips), charged
+    /// per object and per multipart part.
     pub base_latency: Duration,
     /// Replication factor: physical bytes written = logical × replication.
     pub replication: u32,
+    /// Parallel transfer uplinks. One per simulated writer host: a sharded
+    /// checkpoint writer pins each host's uploads to its own channel.
+    pub channels: u32,
 }
 
 impl Default for RemoteConfig {
@@ -42,8 +59,27 @@ impl Default for RemoteConfig {
             bandwidth_bytes_per_sec: 256.0 * 1024.0 * 1024.0,
             base_latency: Duration::from_millis(20),
             replication: 3,
+            channels: 1,
         }
     }
+}
+
+impl RemoteConfig {
+    /// Same configuration with `channels` parallel uplinks.
+    pub fn with_channels(mut self, channels: u32) -> Self {
+        self.channels = channels;
+        self
+    }
+}
+
+/// One buffered multipart upload: parts held in memory until `complete`.
+struct PendingUpload {
+    key: String,
+    parts: BTreeMap<u32, Bytes>,
+    /// Latest part completion time seen so far.
+    durable_at: Duration,
+    /// Channel transfer time accumulated by this upload's parts.
+    transfer_time: Duration,
 }
 
 /// A remote store: in-memory contents plus transfer-time simulation.
@@ -51,8 +87,10 @@ pub struct SimulatedRemoteStore {
     inner: InMemoryStore,
     config: RemoteConfig,
     clock: SimClock,
-    /// Absolute simulated time at which the transfer channel becomes free.
-    channel_free_at: Mutex<Duration>,
+    /// Absolute simulated time at which each transfer channel becomes free.
+    channel_free_at: Mutex<Vec<Duration>>,
+    /// Multipart uploads in progress, by upload id.
+    pending: Mutex<HashMap<u64, PendingUpload>>,
     metrics: Arc<StoreMetrics>,
 }
 
@@ -64,11 +102,13 @@ impl SimulatedRemoteStore {
             "bandwidth must be positive"
         );
         assert!(config.replication >= 1, "replication must be >= 1");
+        assert!(config.channels >= 1, "need at least one channel");
         Self {
             inner: InMemoryStore::new(),
             config,
             clock,
-            channel_free_at: Mutex::new(Duration::ZERO),
+            channel_free_at: Mutex::new(vec![Duration::ZERO; config.channels as usize]),
+            pending: Mutex::new(HashMap::new()),
             metrics: Arc::new(StoreMetrics::new()),
         }
     }
@@ -83,9 +123,15 @@ impl SimulatedRemoteStore {
         self.config
     }
 
-    /// Absolute time at which all issued transfers will have completed.
+    /// Absolute time at which all issued transfers will have completed
+    /// (max over channels).
     pub fn drained_at(&self) -> Duration {
-        *self.channel_free_at.lock()
+        self.channel_free_at
+            .lock()
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(Duration::ZERO)
     }
 
     /// Blocks (in simulated time) until all issued transfers complete:
@@ -97,11 +143,43 @@ impl SimulatedRemoteStore {
         t
     }
 
-    /// Transfer time for `bytes` logical bytes under this configuration.
+    /// Transfer time for `bytes` logical bytes over one channel.
     pub fn transfer_time(&self, bytes: u64) -> Duration {
         let physical = bytes.saturating_mul(self.config.replication as u64);
         self.config.base_latency
             + Duration::from_secs_f64(physical as f64 / self.config.bandwidth_bytes_per_sec)
+    }
+
+    /// Reserves channel `channel % channels` for `bytes` starting no
+    /// earlier than `not_before`, returning (transfer_time, completed_at).
+    fn reserve(
+        &self,
+        channel: u32,
+        bytes: u64,
+        not_before: Duration,
+    ) -> (Duration, Duration) {
+        let transfer = self.transfer_time(bytes);
+        let mut free_at = self.channel_free_at.lock();
+        let slot = (channel as usize) % free_at.len();
+        let start = free_at[slot].max(self.clock.now()).max(not_before);
+        let end = start + transfer;
+        free_at[slot] = end;
+        (transfer, end)
+    }
+
+    /// Reserves the channel that frees earliest (used by whole-object puts,
+    /// which carry no host affinity).
+    fn reserve_least_loaded(&self, bytes: u64) -> (Duration, Duration) {
+        let slot = {
+            let free_at = self.channel_free_at.lock();
+            free_at
+                .iter()
+                .enumerate()
+                .min_by_key(|(_, t)| **t)
+                .map(|(i, _)| i)
+                .unwrap_or(0)
+        };
+        self.reserve(slot as u32, bytes, Duration::ZERO)
     }
 
     fn physical_bytes(&self) -> u64 {
@@ -112,15 +190,7 @@ impl SimulatedRemoteStore {
 impl ObjectStore for SimulatedRemoteStore {
     fn put(&self, key: &str, data: Bytes) -> Result<PutReceipt> {
         let bytes = data.len() as u64;
-        let transfer = self.transfer_time(bytes);
-        // Reserve the serialized channel.
-        let completed_at = {
-            let mut free_at = self.channel_free_at.lock();
-            let start = (*free_at).max(self.clock.now());
-            let end = start + transfer;
-            *free_at = end;
-            end
-        };
+        let (transfer, completed_at) = self.reserve_least_loaded(bytes);
         let receipt_inner = self.inner.put(key, data)?;
         self.metrics.record_put(bytes, transfer);
         self.metrics.record_capacity(
@@ -164,6 +234,91 @@ impl ObjectStore for SimulatedRemoteStore {
     fn total_bytes(&self) -> u64 {
         self.inner.total_bytes()
     }
+
+    // --- Native multipart: in-memory part buffers, per-part bandwidth. ---
+
+    fn begin_multipart(&self, key: &str) -> Result<MultipartUpload> {
+        if key.is_empty() {
+            return Err(StorageError::InvalidKey("empty key".into()));
+        }
+        let id = next_upload_id();
+        self.pending.lock().insert(
+            id,
+            PendingUpload {
+                key: key.to_string(),
+                parts: BTreeMap::new(),
+                durable_at: Duration::ZERO,
+                transfer_time: Duration::ZERO,
+            },
+        );
+        Ok(MultipartUpload {
+            key: key.to_string(),
+            id,
+            channel: 0,
+        })
+    }
+
+    fn put_part(
+        &self,
+        up: &MultipartUpload,
+        part: u32,
+        data: Bytes,
+        not_before: Duration,
+    ) -> Result<PartReceipt> {
+        let bytes = data.len() as u64;
+        let (transfer, completed_at) = self.reserve(up.channel, bytes, not_before);
+        {
+            let mut pending = self.pending.lock();
+            let entry = pending
+                .get_mut(&up.id)
+                .ok_or_else(|| StorageError::NotFound(format!("upload {} of {}", up.id, up.key)))?;
+            entry.parts.insert(part, data);
+            entry.durable_at = entry.durable_at.max(completed_at);
+            entry.transfer_time += transfer;
+        }
+        self.metrics.record_put(bytes, transfer);
+        Ok(PartReceipt {
+            part,
+            bytes,
+            transfer_time: transfer,
+            completed_at,
+        })
+    }
+
+    fn complete_multipart(&self, up: &MultipartUpload) -> Result<PutReceipt> {
+        let entry = self
+            .pending
+            .lock()
+            .remove(&up.id)
+            .ok_or_else(|| StorageError::NotFound(format!("upload {} of {}", up.id, up.key)))?;
+        let mut joined = Vec::new();
+        for part in entry.parts.values() {
+            joined.extend_from_slice(part);
+        }
+        let bytes = joined.len() as u64;
+        // The bytes already transferred part by part; completing is one
+        // commit round trip, not a re-upload.
+        let completed_at = entry.durable_at.max(self.clock.now()) + self.config.base_latency;
+        self.inner.put(&entry.key, Bytes::from(joined))?;
+        self.metrics.record_capacity(
+            completed_at,
+            self.inner.total_bytes(),
+            self.physical_bytes(),
+        );
+        Ok(PutReceipt {
+            key: entry.key,
+            bytes,
+            transfer_time: entry.transfer_time,
+            completed_at,
+        })
+    }
+
+    fn abort_multipart(&self, up: &MultipartUpload) -> Result<()> {
+        // Bandwidth stays spent; the buffered parts are simply dropped and
+        // nothing becomes visible at the key.
+        self.pending.lock().remove(&up.id);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -181,6 +336,7 @@ mod tests {
                 bandwidth_bytes_per_sec: bw_mbps * 1024.0 * 1024.0,
                 base_latency: Duration::from_millis(latency_ms),
                 replication: repl,
+                channels: 1,
             },
             clock.clone(),
         );
@@ -260,5 +416,93 @@ mod tests {
         let peak = store.metrics().peak_physical_bytes();
         assert_eq!(peak, 3 * 30 * 1024 * 1024, "replication amplifies capacity");
         assert_eq!(store.total_bytes(), 20 * 1024 * 1024);
+    }
+
+    #[test]
+    fn parallel_channels_overlap_transfers() {
+        let clock = SimClock::new();
+        let store = SimulatedRemoteStore::new(
+            RemoteConfig {
+                bandwidth_bytes_per_sec: 100.0 * 1024.0 * 1024.0,
+                base_latency: Duration::ZERO,
+                replication: 1,
+                channels: 4,
+            },
+            clock,
+        );
+        // Four 100 MB puts land on four distinct channels: all durable at 1s.
+        for i in 0..4 {
+            let r = store.put(&format!("k{i}"), mb(100)).unwrap();
+            assert!((r.completed_at.as_secs_f64() - 1.0).abs() < 1e-6);
+        }
+        // The fifth queues behind the earliest-free channel.
+        let r = store.put("k4", mb(100)).unwrap();
+        assert!((r.completed_at.as_secs_f64() - 2.0).abs() < 1e-6);
+        assert!((store.drained_at().as_secs_f64() - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multipart_parts_are_charged_individually() {
+        let (store, _clock) = store_with(100.0, 0, 1);
+        let up = store.begin_multipart("obj").unwrap();
+        let r0 = store.put_part(&up, 0, mb(100), Duration::ZERO).unwrap();
+        let r1 = store.put_part(&up, 1, mb(100), Duration::ZERO).unwrap();
+        assert!((r0.completed_at.as_secs_f64() - 1.0).abs() < 1e-6);
+        assert!((r1.completed_at.as_secs_f64() - 2.0).abs() < 1e-6);
+        // Not visible until complete.
+        assert!(store.get("obj").is_err());
+        let r = store.complete_multipart(&up).unwrap();
+        assert_eq!(r.bytes, 200 * 1024 * 1024);
+        // Complete is a commit round trip, not a re-upload: durability is
+        // the last part's completion (zero latency here), not 2x the bytes.
+        assert!((r.completed_at.as_secs_f64() - 2.0).abs() < 1e-6);
+        assert_eq!(store.get("obj").unwrap().len(), 200 * 1024 * 1024);
+    }
+
+    #[test]
+    fn multipart_respects_not_before_backpressure() {
+        let (store, _clock) = store_with(100.0, 0, 1);
+        let up = store.begin_multipart("obj").unwrap();
+        let r = store
+            .put_part(&up, 0, mb(100), Duration::from_secs(5))
+            .unwrap();
+        assert!((r.completed_at.as_secs_f64() - 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multipart_channel_affinity_pins_uplink() {
+        let clock = SimClock::new();
+        let store = SimulatedRemoteStore::new(
+            RemoteConfig {
+                bandwidth_bytes_per_sec: 100.0 * 1024.0 * 1024.0,
+                base_latency: Duration::ZERO,
+                replication: 1,
+                channels: 2,
+            },
+            clock,
+        );
+        // Two uploads pinned to the same channel serialize...
+        let a = store.begin_multipart("a").unwrap().on_channel(0);
+        let b = store.begin_multipart("b").unwrap().on_channel(0);
+        store.put_part(&a, 0, mb(100), Duration::ZERO).unwrap();
+        let rb = store.put_part(&b, 0, mb(100), Duration::ZERO).unwrap();
+        assert!((rb.completed_at.as_secs_f64() - 2.0).abs() < 1e-6);
+        // ...while a third on the other channel overlaps them.
+        let c = store.begin_multipart("c").unwrap().on_channel(1);
+        let rc = store.put_part(&c, 0, mb(100), Duration::ZERO).unwrap();
+        assert!((rc.completed_at.as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multipart_abort_discards_everything() {
+        let (store, _clock) = store_with(100.0, 0, 1);
+        let up = store.begin_multipart("obj").unwrap();
+        store.put_part(&up, 0, mb(1), Duration::ZERO).unwrap();
+        store.abort_multipart(&up).unwrap();
+        assert!(store.get("obj").is_err());
+        assert_eq!(store.total_bytes(), 0);
+        // The upload handle is dead: further parts error.
+        assert!(store.put_part(&up, 1, mb(1), Duration::ZERO).is_err());
+        assert!(store.complete_multipart(&up).is_err());
     }
 }

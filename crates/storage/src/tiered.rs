@@ -1,0 +1,303 @@
+//! Two-tier store: a bounded local cache in front of a remote backend.
+//!
+//! Production checkpoint stacks put a local NVMe tier in front of the
+//! remote object store: writes land durably on the remote (the paper's
+//! durability domain, §2.2) but a copy stays on local flash, so the common
+//! restore — same host, recent checkpoint — reads at NVMe speed instead of
+//! paying the remote channel again. [`TieredStore`] composes any two
+//! [`ObjectStore`]s that way:
+//!
+//! * `put` writes through: remote first (durability), then the cache. The
+//!   receipt is the remote's — durability timing is what the checkpoint
+//!   controller cares about.
+//! * `get` serves from the cache when it can, falling back to the remote
+//!   and re-populating the cache on a miss.
+//! * the cache is bounded: oldest-inserted objects are evicted once
+//!   `cache_capacity` logical bytes are exceeded (checkpoint traffic is
+//!   sequential, so FIFO ≈ LRU here).
+//! * multipart uploads go straight to the remote — parts are transient and
+//!   a checkpoint chunk is only read back on restore, when `get` caches it.
+//!
+//! Listing, metadata, and capacity reflect the remote tier: the cache is an
+//! invisible accelerator, never the source of truth.
+
+use crate::multipart::{MultipartUpload, PartReceipt};
+use crate::{ObjectMeta, ObjectStore, PutReceipt, Result, StorageError};
+use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// A local cache tier in front of a remote backend.
+pub struct TieredStore<C, R> {
+    cache: C,
+    remote: R,
+    /// Cache budget in logical bytes.
+    cache_capacity: u64,
+    /// Cached keys in insertion order (eviction queue).
+    resident: Mutex<VecDeque<String>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl<C: ObjectStore, R: ObjectStore> TieredStore<C, R> {
+    /// Composes `cache` (fast, bounded to `cache_capacity` logical bytes)
+    /// in front of `remote` (durable, source of truth).
+    pub fn new(cache: C, remote: R, cache_capacity: u64) -> Self {
+        assert!(cache_capacity > 0, "cache capacity must be positive");
+        Self {
+            cache,
+            remote,
+            cache_capacity,
+            resident: Mutex::new(VecDeque::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The cache tier.
+    pub fn cache(&self) -> &C {
+        &self.cache
+    }
+
+    /// The remote tier.
+    pub fn remote(&self) -> &R {
+        &self.remote
+    }
+
+    /// Cache hits served so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses (reads that fell through to the remote).
+    pub fn cache_misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Inserts `data` into the cache under `key`, evicting oldest entries
+    /// until the budget holds. Objects larger than the whole budget are not
+    /// cached — but any previously cached value under the key is dropped,
+    /// so an overwrite can never leave a stale cached read behind.
+    fn cache_insert(&self, key: &str, data: Bytes) {
+        if data.len() as u64 > self.cache_capacity {
+            self.cache_forget(key);
+            return;
+        }
+        let mut resident = self.resident.lock();
+        if self.cache.put(key, data).is_err() {
+            return; // a cache tier that errors is just a smaller cache
+        }
+        if !resident.iter().any(|k| k == key) {
+            resident.push_back(key.to_string());
+        }
+        while self.cache.total_bytes() > self.cache_capacity {
+            let Some(victim) = resident.pop_front() else {
+                break;
+            };
+            let _ = self.cache.delete(&victim);
+        }
+    }
+
+    fn cache_forget(&self, key: &str) {
+        let mut resident = self.resident.lock();
+        resident.retain(|k| k != key);
+        let _ = self.cache.delete(key);
+    }
+}
+
+impl<C: ObjectStore, R: ObjectStore> ObjectStore for TieredStore<C, R> {
+    fn put(&self, key: &str, data: Bytes) -> Result<PutReceipt> {
+        // Remote first: if the durable write fails, the cache must not hold
+        // an object the remote never accepted.
+        let receipt = self.remote.put(key, data.clone())?;
+        self.cache_insert(key, data);
+        Ok(receipt)
+    }
+
+    fn get(&self, key: &str) -> Result<Bytes> {
+        match self.cache.get(key) {
+            Ok(data) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Ok(data)
+            }
+            Err(StorageError::NotFound(_)) => {
+                let data = self.remote.get(key)?;
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.cache_insert(key, data.clone());
+                Ok(data)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn delete(&self, key: &str) -> Result<()> {
+        self.remote.delete(key)?;
+        self.cache_forget(key);
+        Ok(())
+    }
+
+    fn list(&self, prefix: &str) -> Result<Vec<String>> {
+        self.remote.list(prefix)
+    }
+
+    fn head(&self, key: &str) -> Result<ObjectMeta> {
+        self.remote.head(key)
+    }
+
+    fn total_bytes(&self) -> u64 {
+        self.remote.total_bytes()
+    }
+
+    // Multipart passes through to the remote tier (including its timing
+    // semantics); the assembled object is cached lazily on first `get`.
+
+    fn begin_multipart(&self, key: &str) -> Result<MultipartUpload> {
+        self.remote.begin_multipart(key)
+    }
+
+    fn put_part(
+        &self,
+        up: &MultipartUpload,
+        part: u32,
+        data: Bytes,
+        not_before: Duration,
+    ) -> Result<PartReceipt> {
+        self.remote.put_part(up, part, data, not_before)
+    }
+
+    fn complete_multipart(&self, up: &MultipartUpload) -> Result<PutReceipt> {
+        let receipt = self.remote.complete_multipart(up)?;
+        // The remote now holds a new object at the key; drop any stale
+        // cached predecessor (the new value is cached on first `get`).
+        self.cache_forget(&up.key);
+        Ok(receipt)
+    }
+
+    fn abort_multipart(&self, up: &MultipartUpload) -> Result<()> {
+        self.remote.abort_multipart(up)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::remote::{RemoteConfig, SimulatedRemoteStore};
+    use crate::InMemoryStore;
+    use cnr_cluster::SimClock;
+
+    fn tiered(capacity: u64) -> TieredStore<InMemoryStore, InMemoryStore> {
+        TieredStore::new(InMemoryStore::new(), InMemoryStore::new(), capacity)
+    }
+
+    #[test]
+    fn conformance() {
+        let store = tiered(1 << 30);
+        crate::trait_tests::conformance(&store);
+    }
+
+    #[test]
+    fn reads_hit_the_cache_after_write_through() {
+        let store = tiered(1024);
+        store.put("a", Bytes::from_static(b"hello")).unwrap();
+        assert_eq!(store.get("a").unwrap(), Bytes::from_static(b"hello"));
+        assert_eq!(store.cache_hits(), 1);
+        assert_eq!(store.cache_misses(), 0);
+    }
+
+    #[test]
+    fn eviction_bounds_the_cache_but_not_the_remote() {
+        let store = tiered(10);
+        for i in 0..5 {
+            store.put(&format!("k{i}"), Bytes::from(vec![0u8; 4])).unwrap();
+        }
+        assert!(store.cache().total_bytes() <= 10);
+        assert_eq!(store.total_bytes(), 20, "remote keeps everything");
+        // Oldest entries were evicted: reading them is a miss served by the
+        // remote, which re-populates the cache.
+        assert_eq!(store.get("k0").unwrap().len(), 4);
+        assert_eq!(store.cache_misses(), 1);
+        assert_eq!(store.get("k0").unwrap().len(), 4);
+        assert_eq!(store.cache_hits(), 1);
+    }
+
+    #[test]
+    fn oversized_objects_bypass_the_cache() {
+        let store = tiered(8);
+        store.put("big", Bytes::from(vec![0u8; 64])).unwrap();
+        assert_eq!(store.cache().total_bytes(), 0);
+        assert_eq!(store.get("big").unwrap().len(), 64);
+        assert_eq!(store.cache_misses(), 1);
+    }
+
+    #[test]
+    fn overwrites_never_serve_stale_cached_data() {
+        // Cacheable value, then an uncacheable overwrite: the stale cached
+        // entry must be dropped, not served.
+        let store = tiered(8);
+        store.put("k", Bytes::from_static(b"v1")).unwrap();
+        store.put("k", Bytes::from(vec![9u8; 64])).unwrap();
+        assert_eq!(store.get("k").unwrap().len(), 64, "no stale read");
+
+        // Cached value overwritten via multipart: same guarantee.
+        store.put("m", Bytes::from_static(b"old")).unwrap();
+        let up = store.begin_multipart("m").unwrap();
+        store
+            .put_part(&up, 0, Bytes::from_static(b"newer"), Duration::ZERO)
+            .unwrap();
+        store.complete_multipart(&up).unwrap();
+        assert_eq!(store.get("m").unwrap(), Bytes::from_static(b"newer"));
+    }
+
+    #[test]
+    fn delete_clears_both_tiers() {
+        let store = tiered(1024);
+        store.put("a", Bytes::from_static(b"x")).unwrap();
+        store.delete("a").unwrap();
+        assert!(store.get("a").is_err());
+        assert!(store.cache().get("a").is_err());
+        assert_eq!(store.total_bytes(), 0);
+    }
+
+    #[test]
+    fn remote_receipt_carries_durability_timing() {
+        let clock = SimClock::new();
+        let remote = SimulatedRemoteStore::new(
+            RemoteConfig {
+                bandwidth_bytes_per_sec: 1024.0 * 1024.0,
+                base_latency: Duration::from_millis(10),
+                replication: 1,
+                channels: 1,
+            },
+            clock,
+        );
+        let store = TieredStore::new(InMemoryStore::new(), remote, 1 << 20);
+        let r = store.put("a", Bytes::from(vec![0u8; 1024 * 1024])).unwrap();
+        assert!(r.completed_at >= Duration::from_secs(1), "remote timing");
+        // ...but the read is a local cache hit.
+        assert_eq!(store.get("a").unwrap().len(), 1024 * 1024);
+        assert_eq!(store.cache_hits(), 1);
+        assert_eq!(store.remote().metrics().snapshot().gets, 0);
+    }
+
+    #[test]
+    fn multipart_goes_to_the_remote_and_caches_on_first_get() {
+        let clock = SimClock::new();
+        let remote = SimulatedRemoteStore::new(RemoteConfig::default(), clock);
+        let store = TieredStore::new(InMemoryStore::new(), remote, 1 << 20);
+        let up = store.begin_multipart("obj").unwrap();
+        store
+            .put_part(&up, 0, Bytes::from_static(b"ab"), Duration::ZERO)
+            .unwrap();
+        store
+            .put_part(&up, 1, Bytes::from_static(b"cd"), Duration::ZERO)
+            .unwrap();
+        store.complete_multipart(&up).unwrap();
+        assert_eq!(store.cache().total_bytes(), 0, "not cached yet");
+        assert_eq!(store.get("obj").unwrap(), Bytes::from_static(b"abcd"));
+        assert_eq!(store.cache_misses(), 1);
+        assert_eq!(store.get("obj").unwrap(), Bytes::from_static(b"abcd"));
+        assert_eq!(store.cache_hits(), 1);
+    }
+}

@@ -7,7 +7,7 @@ use check_n_run::core::manifest::{CheckpointId, CheckpointKind};
 use check_n_run::core::policy::{Decision, TrackerAction};
 use check_n_run::core::restore::restore;
 use check_n_run::core::snapshot::SnapshotTaker;
-use check_n_run::core::writer::CheckpointWriter;
+use check_n_run::core::write::CheckpointWriter;
 use check_n_run::core::{CheckpointConfig, CnrError};
 use check_n_run::cluster::SimClock;
 use check_n_run::model::{DlrmModel, ModelConfig, ShardPlan};

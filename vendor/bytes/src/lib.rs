@@ -48,6 +48,33 @@ impl Bytes {
     pub fn to_vec(&self) -> Vec<u8> {
         self.data.to_vec()
     }
+
+    /// Returns the subrange `range` as a new buffer.
+    ///
+    /// Upstream returns a zero-copy view into the same allocation; this
+    /// stub copies the subrange (call sites slice an upload into parts
+    /// exactly once, so the copy is bounded by the payload size).
+    pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Self {
+        use std::ops::Bound;
+        let start = match range.start_bound() {
+            Bound::Included(&n) => n,
+            Bound::Excluded(&n) => n + 1,
+            Bound::Unbounded => 0,
+        };
+        let end = match range.end_bound() {
+            Bound::Included(&n) => n + 1,
+            Bound::Excluded(&n) => n,
+            Bound::Unbounded => self.len(),
+        };
+        assert!(
+            start <= end && end <= self.len(),
+            "slice {start}..{end} out of bounds of {}",
+            self.len()
+        );
+        Self {
+            data: self.data[start..end].into(),
+        }
+    }
 }
 
 impl Deref for Bytes {
