@@ -1,0 +1,118 @@
+//! Restore-scaling bench: the same checkpoint restored over 1/2/4/8
+//! reader hosts.
+//!
+//! Two quantities matter and the bench reports both:
+//!
+//! * **wall time** (criterion's measurement) — the bookkeeping cost of the
+//!   sharded recovery pipeline; and
+//! * **simulated ready-to-train time** (printed once per host count, and
+//!   asserted: multi-host must beat single-host) — the §2/§5 downtime the
+//!   paper's availability model cares about, which drops near-linearly
+//!   with hosts because each host fetches its share over its own downlink.
+
+use cnr_cluster::SimClock;
+use cnr_core::config::CheckpointConfig;
+use cnr_core::manifest::{CheckpointId, CheckpointKind};
+use cnr_core::policy::{Decision, TrackerAction};
+use cnr_core::read::{restore_sharded, RestoreOptions};
+use cnr_core::snapshot::SnapshotTaker;
+use cnr_core::write::CheckpointWriter;
+use cnr_core::TrainingSnapshot;
+use cnr_model::{DlrmModel, ModelConfig, ShardPlan};
+use cnr_quant::QuantScheme;
+use cnr_reader::ReaderState;
+use cnr_storage::{RemoteConfig, SimulatedRemoteStore};
+use cnr_trainer::{Trainer, TrainerConfig};
+use cnr_workload::{DatasetSpec, SyntheticDataset};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn snapshot() -> (ModelConfig, TrainingSnapshot) {
+    let spec = DatasetSpec::tiny(2424);
+    let ds = SyntheticDataset::new(spec.clone());
+    let cfg = ModelConfig::for_dataset(&spec, 16);
+    let model = DlrmModel::new(cfg.clone());
+    let mut trainer = Trainer::new(model, SimClock::new(), TrainerConfig::default());
+    for i in 0..3 {
+        trainer.train_one(&ds.batch(i));
+    }
+    let snap = SnapshotTaker::new(ShardPlan::balanced(&cfg, 1, 2)).take(
+        &mut trainer,
+        ReaderState::at(3),
+        Decision {
+            kind: CheckpointKind::Full,
+            tracker: TrackerAction::SnapshotReset,
+        },
+        &CheckpointConfig::default(),
+    );
+    (cfg, snap)
+}
+
+/// Writes the checkpoint once and restores it over `hosts` reader hosts,
+/// returning the simulated time from failure to ready-to-train.
+fn restore_once(model_cfg: &ModelConfig, snap: &TrainingSnapshot, hosts: usize) -> Duration {
+    let store = SimulatedRemoteStore::new(
+        RemoteConfig {
+            bandwidth_bytes_per_sec: 4.0 * 1024.0 * 1024.0,
+            base_latency: Duration::from_micros(200),
+            replication: 1,
+            channels: hosts as u32,
+        },
+        SimClock::new(),
+    );
+    let writer = CheckpointWriter::new(&store, "bench");
+    let cfg = CheckpointConfig {
+        // 24 chunks over the two tiny tables: divisible by 8 reader hosts,
+        // so the printed scaling approaches the ideal 8x.
+        chunk_rows: 64,
+        ..CheckpointConfig::default()
+    };
+    writer
+        .write(snap, CheckpointId(0), None, QuantScheme::Fp32, &cfg)
+        .expect("write");
+    let failed_at = store.wait_for_drain();
+    let sharded = restore_sharded(
+        &store,
+        "bench",
+        CheckpointId(0),
+        model_cfg,
+        &RestoreOptions {
+            reader_hosts: hosts,
+            ..RestoreOptions::default()
+        },
+        failed_at,
+    )
+    .expect("restore");
+    sharded.breakdown.fetch
+}
+
+fn restore_scaling(c: &mut Criterion) {
+    let (model_cfg, snap) = snapshot();
+    let mut group = c.benchmark_group("restore");
+    group.sample_size(10);
+    let mut ready = Vec::new();
+    for hosts in [1usize, 2, 4, 8] {
+        let t = restore_once(&model_cfg, &snap, hosts);
+        println!("# restore/{hosts}: simulated ready-to-train {t:?}");
+        ready.push((hosts, t));
+        group.bench_with_input(BenchmarkId::from_parameter(hosts), &hosts, |b, &hosts| {
+            b.iter(|| restore_once(&model_cfg, &snap, hosts));
+        });
+    }
+    group.finish();
+    // The acceptance property, enforced wherever the bench runs (including
+    // CI's smoke step): multi-host restore beats single-host.
+    let one = ready[0].1;
+    let eight = ready[3].1;
+    assert!(
+        eight.as_secs_f64() < 0.5 * one.as_secs_f64(),
+        "8-host restore must beat 1-host: {ready:?}"
+    );
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default();
+    targets = restore_scaling
+}
+criterion_main!(benches);

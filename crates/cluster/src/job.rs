@@ -38,6 +38,11 @@ pub struct TrainingJob {
     /// in parallel (§4.4). Defaults to `nodes` — in the production layout
     /// each trainer node uploads the shard it holds.
     pub writer_hosts: usize,
+    /// Reader hosts participating in each restore: on recovery every host
+    /// fetches and decodes a share of the checkpoint chain over its own
+    /// downlink, so time-to-resume shrinks with this count. Defaults to
+    /// `nodes` — the restarted trainer nodes double as restore readers.
+    pub reader_hosts: usize,
     /// Training time needed to complete (excluding failure rework).
     pub work: Duration,
     /// Submission time relative to the simulation epoch.
@@ -53,6 +58,7 @@ impl TrainingJob {
             priority: JobPriority::Normal,
             nodes,
             writer_hosts: nodes,
+            reader_hosts: nodes,
             work,
             submitted_at,
         }
@@ -63,6 +69,14 @@ impl TrainingJob {
     pub fn with_writer_hosts(mut self, writer_hosts: usize) -> Self {
         assert!(writer_hosts >= 1, "need at least one writer host");
         self.writer_hosts = writer_hosts;
+        self
+    }
+
+    /// Overrides the reader-host count used by sharded restores (e.g. a
+    /// recovery tier narrower than the training fleet).
+    pub fn with_reader_hosts(mut self, reader_hosts: usize) -> Self {
+        assert!(reader_hosts >= 1, "need at least one reader host");
+        self.reader_hosts = reader_hosts;
         self
     }
 }
@@ -89,5 +103,14 @@ mod tests {
         let job = job.with_writer_hosts(4);
         assert_eq!(job.writer_hosts, 4);
         assert_eq!(job.nodes, 16);
+    }
+
+    #[test]
+    fn reader_hosts_default_to_nodes() {
+        let job = TrainingJob::new(2, 8, Duration::from_secs(60), Duration::ZERO);
+        assert_eq!(job.reader_hosts, 8);
+        let job = job.with_reader_hosts(2);
+        assert_eq!(job.reader_hosts, 2);
+        assert_eq!(job.writer_hosts, 8, "writer side untouched");
     }
 }

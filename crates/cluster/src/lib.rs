@@ -29,5 +29,5 @@ pub mod scheduler;
 pub use clock::SimClock;
 pub use failure::{FailureModel, HostKill, TtfSample};
 pub use job::{JobId, JobPriority, TrainingJob};
-pub use recovery::RecoveryAccounting;
+pub use recovery::{RecoveryAccounting, RecoveryCoordinator, RecoveryEvent, ResumeBreakdown};
 pub use scheduler::{ClusterFleet, JobOutcome, Scheduler};

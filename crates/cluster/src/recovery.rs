@@ -5,7 +5,19 @@
 //! time re-training those 1000 batches"). This module quantifies that
 //! trade-off for a given checkpoint interval and failure history — the math
 //! behind the `failure_recovery` example and the interval-sweep ablation.
+//!
+//! It also owns the cluster-side view of the *restore* path: the paper's
+//! downtime model (§2, §5) counts not just lost training but the time a
+//! preempted job spends fetching, de-quantizing, and rebuilding model state
+//! before it is ready to train again. [`ResumeBreakdown`] is one sharded
+//! restore's fetch/decode/merge accounting, and [`RecoveryCoordinator`]
+//! drives restores at the cluster layer: it samples reader-host deaths
+//! mid-restore from a [`FailureModel`] (mirroring the write side's
+//! [`HostKill`] injection) and accumulates every resume's breakdown into
+//! the stats the bench figures consume.
 
+use crate::failure::{FailureModel, HostKill};
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 use std::time::Duration;
 
@@ -32,6 +44,124 @@ impl RecoveryAccounting {
         }
         let overhead = self.total_time - self.useful_work;
         overhead.as_secs_f64() / self.total_time.as_secs_f64()
+    }
+}
+
+/// Time-to-resume accounting of one sharded restore: how long each stage
+/// of the recovery pipeline took before the job was ready to train again.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResumeBreakdown {
+    /// Simulated time the parallel chunk fetch occupied the reader hosts'
+    /// downlinks (the bandwidth-bound stage that sharding attacks).
+    pub fetch: Duration,
+    /// CPU time spent decoding + de-quantizing chunk payloads (overlapped
+    /// with fetch inside each shard reader, reported un-overlapped).
+    pub decode: Duration,
+    /// CPU time spent merging decoded rows into the model state.
+    pub merge: Duration,
+    /// Reader hosts that participated in the fetch.
+    pub reader_hosts: usize,
+    /// Logical bytes fetched from the store.
+    pub bytes_fetched: u64,
+    /// Chunks fetched across the whole restore chain.
+    pub chunks_fetched: u64,
+    /// Chunks re-sharded onto surviving hosts after a reader host died
+    /// mid-restore (zero in the failure-free case).
+    pub rescheduled_chunks: u64,
+    /// Cache-tier hit rate of the restore's reads, when the store has a
+    /// cache tier ([`TieredStore`](../../cnr_storage/struct.TieredStore.html)).
+    pub cache_hit_rate: Option<f64>,
+}
+
+impl ResumeBreakdown {
+    /// Total time-to-resume: the simulated fetch plus the CPU-bound decode
+    /// and merge stages.
+    pub fn time_to_resume(&self) -> Duration {
+        self.fetch + self.decode + self.merge
+    }
+}
+
+/// One recorded recovery event.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RecoveryEvent {
+    /// Simulated time at which the failure hit (restore start).
+    pub at: Duration,
+    /// The restore's stage breakdown.
+    pub breakdown: ResumeBreakdown,
+}
+
+/// Cluster-layer coordinator for sharded restores.
+///
+/// Owns the failure model that can kill a *reader* host mid-restore (the
+/// read-side mirror of the writer-kill injection) and the log of every
+/// resume's [`ResumeBreakdown`]. The engine reports each restore here; the
+/// bench figures read the aggregate accessors.
+#[derive(Debug, Clone)]
+pub struct RecoveryCoordinator {
+    model: FailureModel,
+    events: Vec<RecoveryEvent>,
+}
+
+impl RecoveryCoordinator {
+    /// Creates a coordinator with the given reader-host failure model
+    /// ([`FailureModel::None`] disables mid-restore kills).
+    pub fn new(model: FailureModel) -> Self {
+        Self {
+            model,
+            events: Vec::new(),
+        }
+    }
+
+    /// The failure model in use.
+    pub fn model(&self) -> &FailureModel {
+        &self.model
+    }
+
+    /// Samples whether one of `hosts` reader hosts dies during a restore
+    /// whose fetch is expected to take `fetch_estimate`, each host fetching
+    /// `chunks_per_host` chunks. The earliest sampled death inside the
+    /// fetch window wins; `None` means every host survives.
+    pub fn sample_reader_kill<R: Rng + ?Sized>(
+        &self,
+        hosts: u16,
+        chunks_per_host: u32,
+        fetch_estimate: Duration,
+        rng: &mut R,
+    ) -> Option<HostKill> {
+        self.model
+            .sample_writer_kill(hosts, chunks_per_host, fetch_estimate, rng)
+    }
+
+    /// Records one completed restore.
+    pub fn record(&mut self, at: Duration, breakdown: ResumeBreakdown) {
+        self.events.push(RecoveryEvent { at, breakdown });
+    }
+
+    /// Every recorded recovery event, in order.
+    pub fn events(&self) -> &[RecoveryEvent] {
+        &self.events
+    }
+
+    /// Number of restores recorded.
+    pub fn resumes(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Sum of time-to-resume across all recorded restores — the downtime
+    /// the cluster paid to recoveries.
+    pub fn total_resume_time(&self) -> Duration {
+        self.events
+            .iter()
+            .map(|e| e.breakdown.time_to_resume())
+            .sum()
+    }
+
+    /// Mean time-to-resume per restore (zero when none recorded).
+    pub fn mean_time_to_resume(&self) -> Duration {
+        if self.events.is_empty() {
+            return Duration::ZERO;
+        }
+        self.total_resume_time() / self.events.len() as u32
     }
 }
 
@@ -172,5 +302,67 @@ mod tests {
     #[should_panic(expected = "interval must be positive")]
     fn zero_interval_panics() {
         account(HOUR, &[], Duration::ZERO, MIN);
+    }
+
+    fn breakdown(fetch_s: u64, decode_ms: u64, merge_ms: u64) -> ResumeBreakdown {
+        ResumeBreakdown {
+            fetch: Duration::from_secs(fetch_s),
+            decode: Duration::from_millis(decode_ms),
+            merge: Duration::from_millis(merge_ms),
+            reader_hosts: 4,
+            bytes_fetched: 1 << 20,
+            chunks_fetched: 16,
+            rescheduled_chunks: 0,
+            cache_hit_rate: None,
+        }
+    }
+
+    #[test]
+    fn breakdown_totals_all_stages() {
+        let b = breakdown(10, 500, 250);
+        assert_eq!(b.time_to_resume(), Duration::from_millis(10_750));
+    }
+
+    #[test]
+    fn coordinator_accumulates_resume_stats() {
+        let mut c = RecoveryCoordinator::new(FailureModel::None);
+        assert_eq!(c.resumes(), 0);
+        assert_eq!(c.mean_time_to_resume(), Duration::ZERO);
+        c.record(Duration::from_secs(100), breakdown(4, 0, 0));
+        c.record(Duration::from_secs(200), breakdown(8, 0, 0));
+        assert_eq!(c.resumes(), 2);
+        assert_eq!(c.total_resume_time(), Duration::from_secs(12));
+        assert_eq!(c.mean_time_to_resume(), Duration::from_secs(6));
+        assert_eq!(c.events()[0].at, Duration::from_secs(100));
+    }
+
+    #[test]
+    fn coordinator_none_model_never_kills_readers() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let c = RecoveryCoordinator::new(FailureModel::None);
+        let mut rng = StdRng::seed_from_u64(5);
+        assert!(c
+            .sample_reader_kill(8, 100, Duration::from_secs(600), &mut rng)
+            .is_none());
+    }
+
+    #[test]
+    fn coordinator_short_mtbf_kills_readers_in_range() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let c = RecoveryCoordinator::new(FailureModel::Exponential {
+            mtbf: Duration::from_secs(300),
+        });
+        let mut rng = StdRng::seed_from_u64(23);
+        let mut kills = 0;
+        for _ in 0..100 {
+            if let Some(k) = c.sample_reader_kill(4, 32, Duration::from_secs(600), &mut rng) {
+                kills += 1;
+                assert!(k.host < 4);
+                assert!(k.after_chunks < 32);
+            }
+        }
+        assert!(kills > 20, "short MTBF must kill often, got {kills}");
     }
 }

@@ -65,6 +65,18 @@ pub struct CheckpointConfig {
     /// Multipart part size: chunks larger than this stream to the store in
     /// multiple parts, each accounted individually.
     pub part_bytes: usize,
+    /// Simulated reader hosts used by sharded restores: on recovery each
+    /// host fetches and decodes a share of the checkpoint chain over its
+    /// own downlink, so time-to-resume shrinks with this count (the read
+    /// mirror of `writer_hosts`). 1 = the single-host restore path.
+    pub reader_hosts: usize,
+    /// Bounded in-flight window of the restore fetch scheduler: at most
+    /// this many ranged reads per reader host may be in flight (in
+    /// simulated time) before backpressure delays the next one.
+    pub fetch_window: usize,
+    /// Transient read-failure retries per ranged fetch before a restore
+    /// fails.
+    pub fetch_retries: u32,
     /// How many complete restore chains to retain; older chains are deleted
     /// once a newer checkpoint is valid (§4.4).
     pub retained_chains: usize,
@@ -86,6 +98,9 @@ impl Default for CheckpointConfig {
             writer_hosts: 1,
             upload_window: 8,
             part_bytes: 1 << 20,
+            reader_hosts: 1,
+            fetch_window: 8,
+            fetch_retries: 2,
             retained_chains: 1,
             snapshot_bandwidth_per_device: 5.0e9,
             devices: 8,
@@ -117,6 +132,15 @@ impl CheckpointConfig {
         if self.part_bytes == 0 {
             return Err("multipart part size must be positive".into());
         }
+        if self.reader_hosts == 0 {
+            return Err("need at least one reader host".into());
+        }
+        if self.reader_hosts > u16::MAX as usize {
+            return Err("reader_hosts exceeds the shard id space".into());
+        }
+        if self.fetch_window == 0 {
+            return Err("fetch window must admit at least one range".into());
+        }
         if self.retained_chains == 0 {
             return Err("must retain at least one chain".into());
         }
@@ -133,6 +157,18 @@ impl CheckpointConfig {
             }
         }
         Ok(())
+    }
+
+    /// The sharded-restore options implied by this configuration: the
+    /// quantize-worker budget doubles as the decode budget (the recovery
+    /// path runs on the same background CPU processes the writer used).
+    pub fn restore_options(&self) -> crate::read::RestoreOptions {
+        crate::read::RestoreOptions {
+            reader_hosts: self.reader_hosts.max(1),
+            fetch_window: self.fetch_window,
+            decode_workers: self.quantize_workers,
+            fetch_retries: self.fetch_retries,
+        }
     }
 
     /// Snapshot stall duration for a model whose largest per-device shard is
@@ -193,6 +229,18 @@ mod tests {
             },
             CheckpointConfig {
                 part_bytes: 0,
+                ..CheckpointConfig::default()
+            },
+            CheckpointConfig {
+                reader_hosts: 0,
+                ..CheckpointConfig::default()
+            },
+            CheckpointConfig {
+                reader_hosts: u16::MAX as usize + 1,
+                ..CheckpointConfig::default()
+            },
+            CheckpointConfig {
+                fetch_window: 0,
                 ..CheckpointConfig::default()
             },
         ] {

@@ -23,11 +23,12 @@ use crate::controller::CheckpointController;
 use crate::error::{CnrError, Result};
 use crate::manifest::{CheckpointId, CheckpointKind};
 use crate::policy::PolicyEngine;
-use crate::restore::{self, RestoreReport};
+use crate::read;
+use crate::restore::RestoreReport;
 use crate::snapshot::SnapshotTaker;
-use crate::stats::{IntervalStats, RunStats};
+use crate::stats::{IntervalStats, ResumeStats, RunStats};
 use crate::write::{CheckpointRecord, CheckpointWriter};
-use cnr_cluster::{FailureModel, HostKill, SimClock};
+use cnr_cluster::{FailureModel, HostKill, RecoveryCoordinator, SimClock};
 use cnr_model::{DlrmModel, ModelConfig, ShardPlan};
 use cnr_quant::QuantScheme;
 use cnr_reader::{ReaderConfig, ReaderMaster};
@@ -50,6 +51,7 @@ pub struct EngineBuilder {
     job: String,
     nodes: u32,
     gpus_per_node: u32,
+    restore_failures: FailureModel,
 }
 
 impl EngineBuilder {
@@ -65,6 +67,7 @@ impl EngineBuilder {
             job: "job".to_string(),
             nodes: 1,
             gpus_per_node: 8,
+            restore_failures: FailureModel::None,
         }
     }
 
@@ -133,6 +136,25 @@ impl EngineBuilder {
         self
     }
 
+    /// Shards restores over `hosts` simulated reader hosts, each fetching
+    /// its share of the checkpoint chain over its own downlink — the read
+    /// mirror of [`EngineBuilder::writer_hosts`]. Also raises the remote
+    /// store's channel count to `hosts`.
+    pub fn reader_hosts(mut self, hosts: usize) -> Self {
+        self.ckpt.reader_hosts = hosts;
+        self.remote.channels = self.remote.channels.max(hosts as u32);
+        self
+    }
+
+    /// Lets reader hosts die *mid-restore*, sampled from `model` (the read
+    /// mirror of the writer-kill injection): the dead host's remaining
+    /// chunks re-shard onto the survivors and the restore still completes.
+    /// [`FailureModel::None`] (the default) disables mid-restore kills.
+    pub fn restore_failure_model(mut self, model: FailureModel) -> Self {
+        self.restore_failures = model;
+        self
+    }
+
     /// Builds the engine.
     pub fn build(self) -> Result<Engine> {
         self.ckpt.validate().map_err(CnrError::Config)?;
@@ -180,6 +202,9 @@ impl EngineBuilder {
             batches_into_interval: 0,
             restores: 0,
             uploads_durable_at: Duration::ZERO,
+            recovery: RecoveryCoordinator::new(self.restore_failures),
+            recovery_rng: StdRng::seed_from_u64(0x5EED_4EC0),
+            last_chunk_count: 0,
         })
     }
 }
@@ -222,6 +247,15 @@ pub struct Engine {
     /// durable. The engine polls this at interval boundaries (§4.3
     /// non-overlap) instead of blocking on the store.
     uploads_durable_at: Duration,
+    /// Cluster-layer recovery accounting: every restore's time-to-resume
+    /// breakdown, plus the failure model for reader-host deaths mid-restore.
+    recovery: RecoveryCoordinator,
+    /// Dedicated rng for reader-kill sampling (isolated so it never
+    /// perturbs training determinism).
+    recovery_rng: StdRng,
+    /// Chunks in the most recent checkpoint's manifest (the kill sampler's
+    /// chunks-per-host estimate).
+    last_chunk_count: u32,
 }
 
 impl Engine {
@@ -296,6 +330,7 @@ impl Engine {
         let record =
             writer.write_with_failures(&snapshot, id, base, scheme, &self.config, kill)?;
         self.uploads_durable_at = record.completed_at;
+        self.last_chunk_count = record.manifest.chunks.len() as u32;
 
         // Feed the intermittent predictor with the size as a fraction of the
         // last full checkpoint in the same encoding.
@@ -335,11 +370,62 @@ impl Engine {
     }
 
     /// Simulates a failure: discards live training state and restores from
-    /// the newest valid checkpoint. Returns the restore report.
+    /// the newest valid checkpoint across `config.reader_hosts` parallel
+    /// reader hosts (the sharded [`crate::read`] pipeline — bit-identical
+    /// to the serial restore). When a restore failure model is configured
+    /// ([`EngineBuilder::restore_failure_model`]), a reader host may die
+    /// mid-restore; its remaining chunks re-shard onto the survivors.
+    /// Returns the restore report.
     pub fn simulate_failure_and_restore(&mut self) -> Result<RestoreReport> {
+        let kill = self.sample_reader_kill();
+        self.restore_inner(kill)
+    }
+
+    /// [`Engine::simulate_failure_and_restore`] with explicit reader-host
+    /// failure injection: the named host dies after fetching
+    /// `kill.after_chunks` chunks. Errors if the engine has a single reader
+    /// host (no survivors to re-shard onto).
+    pub fn simulate_failure_and_restore_killing_reader(
+        &mut self,
+        kill: HostKill,
+    ) -> Result<RestoreReport> {
+        self.restore_inner(Some(kill))
+    }
+
+    /// Samples a reader-host death for the upcoming restore from the
+    /// coordinator's failure model. Single-host engines never sample one
+    /// (a kill with no survivors would just fail the restore).
+    fn sample_reader_kill(&mut self) -> Option<HostKill> {
+        let hosts = self.config.reader_hosts;
+        if hosts <= 1 {
+            return None;
+        }
+        let chunks_per_host = (self.last_chunk_count / hosts as u32).max(1);
+        let per_host_bytes = self.controller.live_bytes() / hosts as u64;
+        let fetch_estimate = self.store.read_transfer_time(per_host_bytes);
+        self.recovery.sample_reader_kill(
+            hosts as u16,
+            chunks_per_host,
+            fetch_estimate,
+            &mut self.recovery_rng,
+        )
+    }
+
+    fn restore_inner(&mut self, kill: Option<HostKill>) -> Result<RestoreReport> {
         let latest = self.controller.latest().ok_or(CnrError::NothingToRestore)?;
         let model_cfg: ModelConfig = self.trainer.model().config().clone();
-        let report = restore::restore(self.store.as_ref(), &self.job, latest, &model_cfg)?;
+        let started_at = self.clock.now();
+        let options = self.config.restore_options();
+        let sharded = read::restore_sharded_with_failures(
+            self.store.as_ref(),
+            &self.job,
+            latest,
+            &model_cfg,
+            &options,
+            started_at,
+            kill,
+        )?;
+        let report = sharded.report;
 
         // Rebuild trainer-side state.
         report.state.restore(self.trainer.model_mut());
@@ -357,12 +443,31 @@ impl Engine {
             PolicyKind::Consecutive | PolicyKind::FullOnly => {}
         }
 
-        // Rebuild the reader tier at the stored position.
+        // Rebuild the reader tier at the stored position and warm its
+        // queue while the (simulated) fetch drains — reader warm-up
+        // overlaps the restore instead of adding to time-to-resume.
         self.reader = ReaderMaster::from_state(self.dataset.clone(), report.reader, self.reader_cfg);
+        self.reader.preload(self.reader_cfg.queue_depth as u64);
         self.batches_into_interval = 0;
 
-        // Charge the restore read time to the clock.
-        self.clock.advance(self.store.transfer_time(report.bytes_read));
+        // Charge the sharded fetch to the clock: ready-to-train is when the
+        // last reader host's last range arrived.
+        self.clock.advance_to(sharded.ready_at);
+
+        // Record the time-to-resume breakdown at both accounting layers.
+        let breakdown = sharded.breakdown;
+        self.recovery.record(started_at, breakdown);
+        self.stats.push_resume(ResumeStats {
+            resume: self.restores,
+            checkpoint: latest,
+            reader_hosts: breakdown.reader_hosts,
+            fetch: breakdown.fetch,
+            decode: breakdown.decode,
+            merge: breakdown.merge,
+            time_to_resume: breakdown.time_to_resume(),
+            bytes_fetched: breakdown.bytes_fetched,
+            cache_hit_rate: breakdown.cache_hit_rate,
+        });
 
         // Count against the quantization budget (§6.2.1 fallback).
         self.bitwidth.on_restore();
@@ -503,6 +608,12 @@ impl Engine {
     /// Restores performed so far.
     pub fn restores(&self) -> u32 {
         self.restores
+    }
+
+    /// The cluster-layer recovery coordinator: every restore's
+    /// time-to-resume breakdown and the reader-host failure model.
+    pub fn recovery(&self) -> &RecoveryCoordinator {
+        &self.recovery
     }
 
     /// Remaining simulated upload time of the most recent checkpoint: zero
@@ -771,6 +882,120 @@ mod tests {
         let report = e.simulate_failure_and_restore().unwrap();
         assert_eq!(report.state.iteration, 4);
         assert_eq!(e.trainer().model().state_hash(), hash);
+    }
+
+    #[test]
+    fn restore_records_time_to_resume_breakdown() {
+        let mut e = builder().reader_hosts(4).build().unwrap();
+        e.train_batches(10).unwrap();
+        e.simulate_failure_and_restore().unwrap();
+        assert_eq!(e.stats().resumes.len(), 1);
+        let r = &e.stats().resumes[0];
+        assert_eq!(r.reader_hosts, 4);
+        assert!(r.bytes_fetched > 0);
+        assert!(r.fetch > Duration::ZERO, "remote fetch takes simulated time");
+        assert_eq!(r.time_to_resume, r.fetch + r.decode + r.merge);
+        // The cluster-layer coordinator saw the same event.
+        assert_eq!(e.recovery().resumes(), 1);
+        assert_eq!(
+            e.recovery().events()[0].breakdown.time_to_resume(),
+            r.time_to_resume
+        );
+        assert!(e.recovery().mean_time_to_resume() > Duration::ZERO);
+    }
+
+    #[test]
+    fn more_reader_hosts_resume_sooner() {
+        let time_to_resume = |hosts: usize| {
+            let mut e = builder()
+                .checkpoint_config(CheckpointConfig {
+                    interval_batches: 5,
+                    chunk_rows: 64, // ~24 chunks: enough to spread over 8 hosts
+                    ..CheckpointConfig::default()
+                })
+                .reader_hosts(hosts)
+                .remote_config(RemoteConfig {
+                    bandwidth_bytes_per_sec: 64.0 * 1024.0, // slow: fetch dominates
+                    base_latency: Duration::from_micros(100),
+                    replication: 1,
+                    channels: hosts as u32,
+                })
+                .build()
+                .unwrap();
+            e.train_batches(10).unwrap();
+            let hash = e.trainer().model().state_hash();
+            e.simulate_failure_and_restore().unwrap();
+            assert_eq!(e.trainer().model().state_hash(), hash, "exact restore");
+            e.stats().resumes[0].fetch
+        };
+        let one = time_to_resume(1);
+        let eight = time_to_resume(8);
+        assert!(
+            eight.as_secs_f64() < 0.5 * one.as_secs_f64(),
+            "8 reader hosts must resume measurably sooner: {one:?} vs {eight:?}"
+        );
+    }
+
+    #[test]
+    fn engine_survives_reader_host_death_mid_restore() {
+        let mut e = builder().reader_hosts(4).build().unwrap();
+        e.train_batches(10).unwrap();
+        let hash = e.trainer().model().state_hash();
+        let report = e
+            .simulate_failure_and_restore_killing_reader(HostKill {
+                host: 2,
+                after_chunks: 1,
+            })
+            .unwrap();
+        assert_eq!(report.state.iteration, 10);
+        assert_eq!(e.trainer().model().state_hash(), hash);
+        assert_eq!(e.stats().resumes.len(), 1);
+    }
+
+    #[test]
+    fn single_reader_host_never_samples_a_suicide_kill() {
+        // An aggressive restore failure model on a single-host engine must
+        // not kill the only reader (that would fail every restore).
+        let mut e = builder()
+            .restore_failure_model(FailureModel::Exponential {
+                mtbf: Duration::from_nanos(1),
+            })
+            .build()
+            .unwrap();
+        e.train_batches(5).unwrap();
+        e.simulate_failure_and_restore().unwrap();
+        assert_eq!(e.restores(), 1);
+    }
+
+    #[test]
+    fn sampled_reader_kills_still_restore_exactly() {
+        // MTBF far below the fetch estimate: kills sample nearly always,
+        // and every restore must still complete bit-exactly by re-sharding.
+        let mut e = builder()
+            .reader_hosts(4)
+            .restore_failure_model(FailureModel::Exponential {
+                mtbf: Duration::from_nanos(100),
+            })
+            .build()
+            .unwrap();
+        e.train_batches(10).unwrap();
+        let hash = e.trainer().model().state_hash();
+        let mut rescheduled = 0u64;
+        for _ in 0..4 {
+            e.simulate_failure_and_restore().unwrap();
+            assert_eq!(e.trainer().model().state_hash(), hash);
+            rescheduled += e
+                .recovery()
+                .events()
+                .last()
+                .unwrap()
+                .breakdown
+                .rescheduled_chunks;
+        }
+        assert!(
+            rescheduled > 0,
+            "a near-certain kill model must have killed a reader at least once"
+        );
     }
 
     #[test]

@@ -18,6 +18,10 @@
 //! * [`restore`] — chain reconstruction: follow base pointers from any
 //!   checkpoint back to its full baseline, apply deltas forward, de-quantize
 //!   (§5.1 recovery).
+//! * [`read`] — the sharded recovery pipeline mirroring [`write`]: a fetch
+//!   planner, per-host shard readers overlapping ranged downloads with
+//!   decode, and a merge stage bit-identical to the serial restore, with
+//!   fetch/decode/merge time-to-resume accounting (§2/§5 downtime model).
 //! * [`controller`] — checkpoint registry, validity, retention, deletion
 //!   (§4.4).
 //! * [`engine`] — the end-to-end training loop: reader budgets, interval
@@ -36,6 +40,7 @@ pub mod frequency;
 pub mod manifest;
 pub mod policy;
 pub mod predictor;
+pub mod read;
 pub mod restore;
 pub mod snapshot;
 pub mod stats;
@@ -47,8 +52,9 @@ pub use config::{CheckpointConfig, PolicyKind, QuantMode};
 pub use engine::{Engine, EngineBuilder};
 pub use error::CnrError;
 pub use manifest::{CheckpointId, CheckpointKind, Manifest};
+pub use read::{FetchScheduler, FetchStatus, RestoreOptions, ShardedRestore};
 pub use snapshot::TrainingSnapshot;
-pub use stats::IntervalStats;
+pub use stats::{IntervalStats, ResumeStats};
 pub use write::{CheckpointRecord, CheckpointWriter, UploadScheduler, UploadStatus};
 
 /// Adapter exposing an embedding table snapshot to `cnr-quant`'s

@@ -1,0 +1,697 @@
+//! The sharded, pipelined checkpoint *recovery* path — the read-side
+//! mirror of [`crate::write`].
+//!
+//! The paper's downtime model (§2, §5) is dominated by how quickly a
+//! preempted job can resume: fetch, de-quantize, and rebuild model state
+//! across hosts. The serial [`crate::restore`] walks the chain and decodes
+//! chunks one at a time on one host; this module restores the same chain
+//! with the write path's structure inverted:
+//!
+//! ```text
+//! planner ──▶ shard readers (one per reader host) ──▶ merge
+//!   assign        ranged fetches over the host's        apply decoded
+//!   the chain's   own downlink (fetch scheduler:        rows oldest
+//!   chunks to     bounded in-flight window), decode     manifest first —
+//!   reader        + de-quantize overlapping the         bit-identical to
+//!   hosts by      next chunk's transfer                 the serial path
+//!   bytes
+//! ```
+//!
+//! * [`planner`] assigns every chunk of the restore chain to a reader
+//!   host, balancing bytes, using the manifest's `ChunkMeta.parts` as the
+//!   ranged-fetch plan.
+//! * [`shard_reader`] runs one host's share through the
+//!   [`scheduler::FetchScheduler`], which issues ranged reads
+//!   ([`cnr_storage::ObjectStore::get_part`]) with a bounded in-flight
+//!   window and bounded transient-failure retries. A host killed
+//!   mid-restore hands its unread chunks back.
+//! * [`merge`] reassembles the model bit-identically to the serial path
+//!   and re-seeds the modification tracker.
+//!
+//! The coordinator here ([`restore_sharded`]) re-shards a dead reader
+//! host's remaining chunks onto the survivors (mirroring the write side's
+//! [`cnr_cluster::HostKill`] handling) and reports a
+//! [`ResumeBreakdown`] — fetch/decode/merge — for the cluster layer's
+//! time-to-resume accounting.
+
+pub mod merge;
+pub mod planner;
+pub mod scheduler;
+pub mod shard_reader;
+
+pub use planner::FetchItem;
+pub use scheduler::{FetchScheduler, FetchStatus};
+pub use shard_reader::{DecodedChunk, ReadOutcome, ShardReader};
+
+use crate::error::{CnrError, Result};
+use crate::manifest::{CheckpointId, CheckpointKind, Manifest};
+use crate::restore::{validate_geometry, validate_shard_summaries, RestoreReport};
+use cnr_cluster::{HostKill, ResumeBreakdown};
+use cnr_model::config::ModelConfig;
+use cnr_model::state::ModelState;
+use cnr_storage::ObjectStore;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+/// Configuration of a sharded restore.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RestoreOptions {
+    /// Simulated reader hosts: each fetches its share of the chain over
+    /// its own downlink. 1 = the single-host path.
+    pub reader_hosts: usize,
+    /// Bounded in-flight window of the fetch scheduler: at most this many
+    /// ranged reads per host may be in flight (in simulated time) before
+    /// backpressure delays the next one.
+    pub fetch_window: usize,
+    /// Decode worker threads, spread across reader hosts exactly like the
+    /// write path's quantize workers.
+    pub decode_workers: usize,
+    /// Transient read-failure retries per ranged fetch before the restore
+    /// fails.
+    pub fetch_retries: u32,
+}
+
+impl Default for RestoreOptions {
+    fn default() -> Self {
+        Self {
+            reader_hosts: 1,
+            fetch_window: 8,
+            decode_workers: 2,
+            fetch_retries: 2,
+        }
+    }
+}
+
+impl RestoreOptions {
+    /// Validates the options.
+    pub fn validate(&self) -> std::result::Result<(), String> {
+        if self.reader_hosts == 0 {
+            return Err("need at least one reader host".into());
+        }
+        if self.reader_hosts > u16::MAX as usize {
+            return Err("reader_hosts exceeds the shard id space".into());
+        }
+        if self.fetch_window == 0 {
+            return Err("fetch window must admit at least one range".into());
+        }
+        if self.decode_workers == 0 {
+            return Err("need at least one decode worker".into());
+        }
+        Ok(())
+    }
+}
+
+/// Outcome of a sharded restore: the serial-compatible report plus the
+/// recovery pipeline's accounting.
+#[derive(Debug, Clone)]
+pub struct ShardedRestore {
+    /// Same shape as the serial path's report — the restored state is
+    /// bit-identical to [`crate::restore::restore`].
+    pub report: RestoreReport,
+    /// Fetch/decode/merge time-to-resume breakdown for the cluster layer.
+    pub breakdown: ResumeBreakdown,
+    /// Absolute simulated time at which the last ranged fetch arrived.
+    pub ready_at: Duration,
+    /// Reader hosts that died mid-restore (their remaining chunks were
+    /// re-sharded onto the survivors).
+    pub killed_hosts: Vec<u16>,
+    /// Final fetch-scheduler counters (parts, stalls, retries).
+    pub fetch_status: FetchStatus,
+}
+
+/// Restores checkpoint `target` across `options.reader_hosts` parallel
+/// reader hosts, bit-identically to the serial [`crate::restore::restore`].
+/// `started_at` is the simulated time the recovery began (the failure
+/// instant); the reported fetch time is measured from it.
+pub fn restore_sharded(
+    store: &dyn ObjectStore,
+    job: &str,
+    target: CheckpointId,
+    config: &ModelConfig,
+    options: &RestoreOptions,
+    started_at: Duration,
+) -> Result<ShardedRestore> {
+    restore_sharded_with_failures(store, job, target, config, options, started_at, None)
+}
+
+/// [`restore_sharded`] with reader-host failure injection: the host named
+/// by `kill` dies after fetching `kill.after_chunks` chunks; its remaining
+/// chunks are re-sharded onto the surviving hosts and the restore still
+/// completes bit-identically.
+#[allow(clippy::too_many_arguments)]
+pub fn restore_sharded_with_failures(
+    store: &dyn ObjectStore,
+    job: &str,
+    target: CheckpointId,
+    config: &ModelConfig,
+    options: &RestoreOptions,
+    started_at: Duration,
+    kill: Option<HostKill>,
+) -> Result<ShardedRestore> {
+    options.validate().map_err(CnrError::Config)?;
+    let cache_before = store.cache_stats();
+    let hosts = options.reader_hosts.max(1);
+    let fetch_sched = FetchScheduler::new(
+        store,
+        hosts,
+        options.fetch_window,
+        options.fetch_retries,
+        started_at,
+    );
+
+    // --- Plan: walk the chain, validate, assign chunks to hosts. --------
+    // Manifests download through the timed path too (serialized on host
+    // 0's downlink — each base pointer is only known once its successor
+    // decodes), so chain-walk latency lands in the fetch accounting.
+    let chain = load_chain_over(&fetch_sched, store, job, target)?;
+    let newest = chain.last().unwrap().clone();
+    validate_geometry(&newest, config)?;
+    for manifest in &chain {
+        validate_shard_summaries(manifest)?;
+    }
+    // Chunk fetches may not start before the plan that names them exists.
+    fetch_sched.set_floor(fetch_sched.ready_at());
+    let assignments = planner::plan(&chain, hosts);
+    let jobs: Vec<(u16, Vec<FetchItem>)> = assignments
+        .into_iter()
+        .enumerate()
+        .map(|(h, items)| (h as u16, items))
+        .collect();
+
+    // --- Pass 1: every host fetches + decodes its own share. ------------
+    let decode_nanos = AtomicU64::new(0);
+    let outcomes = run_pass(
+        &fetch_sched,
+        &decode_nanos,
+        options.decode_workers,
+        jobs,
+        kill,
+    )?;
+
+    let mut decoded: Vec<DecodedChunk> = Vec::new();
+    let mut killed_hosts: Vec<u16> = Vec::new();
+    let mut unread: Vec<FetchItem> = Vec::new();
+    for outcome in outcomes {
+        decoded.extend(outcome.decoded);
+        if outcome.killed {
+            killed_hosts.push(outcome.host);
+            unread.extend(outcome.unread);
+        }
+    }
+
+    // --- Pass 2: re-shard a dead host's leftovers onto survivors. -------
+    let rescheduled_chunks = unread.len() as u64;
+    if !unread.is_empty() {
+        let survivors: Vec<u16> = (0..hosts as u16)
+            .filter(|h| !killed_hosts.contains(h))
+            .collect();
+        if survivors.is_empty() {
+            return Err(CnrError::Pipeline(
+                "every reader host died mid-restore".into(),
+            ));
+        }
+        let mut reassigned: Vec<(u16, Vec<FetchItem>)> =
+            survivors.iter().map(|&h| (h, Vec::new())).collect();
+        for (i, item) in unread.into_iter().enumerate() {
+            reassigned[i % survivors.len()].1.push(item);
+        }
+        let rescue = run_pass(
+            &fetch_sched,
+            &decode_nanos,
+            options.decode_workers,
+            reassigned,
+            None,
+        )?;
+        for outcome in rescue {
+            decoded.extend(outcome.decoded);
+        }
+    }
+
+    // --- Merge: assemble the model bit-identically to the serial path. --
+    let chunks_fetched = decoded.len() as u64;
+    let chunk_bytes: u64 = decoded.iter().map(|d| d.bytes).sum();
+    let merge_t0 = Instant::now();
+    let merged = merge::merge(&chain, decoded)?;
+    let merge_time = merge_t0.elapsed();
+
+    let manifest_bytes: u64 = chain.iter().map(|m| m.encode().len() as u64).sum();
+    let bytes_read = chunk_bytes + manifest_bytes;
+    let shards_merged = chain.iter().map(|m| m.shards.len()).sum();
+    let ready_at = fetch_sched.ready_at();
+    let fetch_status = fetch_sched.poll(Duration::MAX);
+
+    let cache_hit_rate = match (cache_before, store.cache_stats()) {
+        (Some(before), Some(after)) => Some(after.since(before).hit_rate()),
+        _ => None,
+    };
+    let breakdown = ResumeBreakdown {
+        fetch: ready_at.saturating_sub(started_at),
+        decode: Duration::from_nanos(decode_nanos.load(Ordering::Relaxed)),
+        merge: merge_time,
+        reader_hosts: hosts,
+        bytes_fetched: bytes_read,
+        chunks_fetched,
+        rescheduled_chunks,
+        cache_hit_rate,
+    };
+
+    Ok(ShardedRestore {
+        report: RestoreReport {
+            chain: chain.iter().map(|m| m.id).collect(),
+            state: ModelState {
+                tables: merged.tables,
+                bottom: newest.bottom_mlp.clone(),
+                top: newest.top_mlp.clone(),
+                iteration: newest.iteration,
+            },
+            reader: newest.reader_state,
+            scheme: newest.scheme,
+            rows_applied: merged.rows_applied,
+            shards_merged,
+            bytes_read,
+            incremental_rows: merged.incremental_rows,
+        },
+        breakdown,
+        ready_at,
+        killed_hosts,
+        fetch_status,
+    })
+}
+
+/// Walks the chain of base pointers from `target` back to its full
+/// baseline through the timed fetch path (mirroring
+/// [`crate::restore::load_chain`], which reads untimed): each manifest
+/// downloads over reader host 0's downlink with the scheduler's bounded
+/// retries, so manifest latency and transfer time show up in the
+/// time-to-resume fetch accounting exactly as chunk reads do.
+fn load_chain_over(
+    scheduler: &FetchScheduler<'_>,
+    store: &dyn ObjectStore,
+    job: &str,
+    target: CheckpointId,
+) -> Result<Vec<Manifest>> {
+    let fetch_manifest = |id: CheckpointId| -> Result<Manifest> {
+        let key = Manifest::key(job, id);
+        let size = store.head(&key).map_err(CnrError::from)?.size;
+        let (bytes, _arrived) = scheduler.fetch_chunk(0, &key, size, 1)?;
+        Manifest::decode(&bytes)
+    };
+    let mut chain = vec![fetch_manifest(target)?];
+    while chain.last().unwrap().kind != CheckpointKind::Full {
+        let m = chain.last().unwrap();
+        let base = m.base.ok_or_else(|| {
+            CnrError::Corrupt(format!("incremental {} has no base pointer", m.id))
+        })?;
+        if chain.iter().any(|c| c.id == base) {
+            return Err(CnrError::Corrupt(format!(
+                "checkpoint chain cycle at {base}"
+            )));
+        }
+        chain.push(fetch_manifest(base)?);
+    }
+    chain.reverse(); // oldest (full) first
+    Ok(chain)
+}
+
+/// Runs a set of per-host read jobs on at most `workers` threads; the
+/// worker budget spreads over hosts exactly like the write path's
+/// `run_pass` — a single-host restore still decodes on all workers.
+fn run_pass(
+    scheduler: &FetchScheduler<'_>,
+    decode_nanos: &AtomicU64,
+    workers: usize,
+    jobs: Vec<(u16, Vec<FetchItem>)>,
+    kill: Option<HostKill>,
+) -> Result<Vec<ReadOutcome>> {
+    use crossbeam::channel;
+    let n_jobs = jobs.len();
+    let threads_per_shard = (workers / n_jobs.max(1)).max(1);
+    let (job_tx, job_rx) = channel::unbounded::<(u16, Vec<FetchItem>, Option<u32>)>();
+    for (host, items) in jobs {
+        let kill_after = kill.filter(|k| k.host == host).map(|k| k.after_chunks);
+        job_tx
+            .send((host, items, kill_after))
+            .expect("receiver alive");
+    }
+    drop(job_tx);
+
+    // Unbounded: outcomes are collected only after the scope joins.
+    let (out_tx, out_rx) = channel::unbounded::<Result<ReadOutcome>>();
+    std::thread::scope(|scope| {
+        for _ in 0..workers.min(n_jobs).max(1) {
+            let job_rx = job_rx.clone();
+            let out_tx = out_tx.clone();
+            let reader = ShardReader {
+                scheduler,
+                decode_nanos,
+            };
+            scope.spawn(move || {
+                while let Ok((host, items, kill_after)) = job_rx.recv() {
+                    let outcome = reader.run(host, items, kill_after, threads_per_shard);
+                    if out_tx.send(outcome).is_err() {
+                        return; // collector gone; abort quietly
+                    }
+                }
+            });
+        }
+    });
+    drop(out_tx);
+
+    let mut outcomes = Vec::with_capacity(n_jobs);
+    for result in out_rx.iter() {
+        outcomes.push(result?);
+    }
+    outcomes.sort_by_key(|o| o.host);
+    Ok(outcomes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::CheckpointConfig;
+    use crate::manifest::CheckpointKind;
+    use crate::policy::{Decision, TrackerAction};
+    use crate::restore::restore;
+    use crate::snapshot::{SnapshotTaker, TrainingSnapshot};
+    use cnr_cluster::SimClock;
+    use cnr_model::{DlrmModel, ModelConfig, ShardPlan};
+    use cnr_quant::QuantScheme;
+    use cnr_reader::ReaderState;
+    use cnr_storage::{
+        FailureMode, FlakyStore, InMemoryStore, RemoteConfig, SimulatedRemoteStore, TieredStore,
+    };
+    use cnr_workload::{DatasetSpec, SyntheticDataset};
+
+    fn snapshot_after(batches: u64, dim: usize) -> (ModelConfig, TrainingSnapshot) {
+        let spec = DatasetSpec::tiny(321);
+        let ds = SyntheticDataset::new(spec.clone());
+        let cfg = ModelConfig::for_dataset(&spec, dim);
+        let model = DlrmModel::new(cfg.clone());
+        let mut trainer = cnr_trainer::Trainer::new(
+            model,
+            SimClock::new(),
+            cnr_trainer::TrainerConfig::default(),
+        );
+        for i in 0..batches {
+            trainer.train_one(&ds.batch(i));
+        }
+        let snap = SnapshotTaker::new(ShardPlan::balanced(&cfg, 1, 2)).take(
+            &mut trainer,
+            ReaderState::at(batches),
+            Decision {
+                kind: CheckpointKind::Full,
+                tracker: TrackerAction::SnapshotReset,
+            },
+            &CheckpointConfig::default(),
+        );
+        (cfg, snap)
+    }
+
+    fn write_to(store: &dyn cnr_storage::ObjectStore, snap: &TrainingSnapshot, hosts: usize) {
+        write_to_with_parts(store, snap, hosts, 1 << 20);
+    }
+
+    fn write_to_with_parts(
+        store: &dyn cnr_storage::ObjectStore,
+        snap: &TrainingSnapshot,
+        hosts: usize,
+        part_bytes: usize,
+    ) {
+        let writer = crate::write::CheckpointWriter::new(store, "job");
+        let cfg = CheckpointConfig {
+            chunk_rows: 100,
+            writer_hosts: hosts,
+            part_bytes,
+            ..CheckpointConfig::default()
+        };
+        writer
+            .write(snap, CheckpointId(0), None, QuantScheme::Fp32, &cfg)
+            .unwrap();
+    }
+
+    fn opts(hosts: usize) -> RestoreOptions {
+        RestoreOptions {
+            reader_hosts: hosts,
+            ..RestoreOptions::default()
+        }
+    }
+
+    #[test]
+    fn sharded_restore_matches_serial_report() {
+        let (model_cfg, snap) = snapshot_after(3, 8);
+        let store = InMemoryStore::new();
+        write_to(&store, &snap, 3);
+        let serial = restore(&store, "job", CheckpointId(0), &model_cfg).unwrap();
+        for hosts in [1usize, 2, 4, 7] {
+            let sharded = restore_sharded(
+                &store,
+                "job",
+                CheckpointId(0),
+                &model_cfg,
+                &opts(hosts),
+                Duration::ZERO,
+            )
+            .unwrap();
+            assert_eq!(sharded.report.state, serial.state, "hosts={hosts}");
+            assert_eq!(sharded.report.chain, serial.chain);
+            assert_eq!(sharded.report.rows_applied, serial.rows_applied);
+            assert_eq!(sharded.report.shards_merged, serial.shards_merged);
+            assert_eq!(sharded.report.bytes_read, serial.bytes_read);
+            assert_eq!(
+                sharded.report.incremental_rows.modified_rows(),
+                serial.incremental_rows.modified_rows()
+            );
+            assert_eq!(sharded.breakdown.reader_hosts, hosts);
+            let manifest =
+                crate::restore::load_manifest(&store, "job", CheckpointId(0)).unwrap();
+            assert_eq!(
+                sharded.breakdown.chunks_fetched as usize,
+                manifest.chunks.len(),
+                "every chunk of the chain fetched exactly once"
+            );
+            assert!(sharded.killed_hosts.is_empty());
+        }
+    }
+
+    #[test]
+    fn eight_reader_hosts_reach_ready_to_train_sooner() {
+        let (model_cfg, snap) = snapshot_after(3, 16);
+        let ready_with = |hosts: usize| {
+            let clock = SimClock::new();
+            let store = SimulatedRemoteStore::new(
+                RemoteConfig {
+                    bandwidth_bytes_per_sec: 1024.0 * 1024.0, // 1 MB/s per downlink
+                    base_latency: Duration::from_micros(50),
+                    replication: 1,
+                    channels: hosts as u32,
+                },
+                clock.clone(),
+            );
+            write_to(&store, &snap, 1); // written single-host either way
+            // The failure hits after the write drained: no fetch may start
+            // before it (matching the engine, which advances the clock).
+            let write_drained = store.wait_for_drain();
+            let sharded = restore_sharded(
+                &store,
+                "job",
+                CheckpointId(0),
+                &model_cfg,
+                &opts(hosts),
+                write_drained,
+            )
+            .unwrap();
+            assert_eq!(sharded.report.state, snap.model, "fp32 bit-exact");
+            sharded.ready_at.saturating_sub(write_drained)
+        };
+        let one = ready_with(1);
+        let eight = ready_with(8);
+        assert!(
+            eight.as_secs_f64() < 0.25 * one.as_secs_f64(),
+            "8 downlinks should approach 8x faster ready-to-train: 1-host {one:?}, 8-host {eight:?}"
+        );
+    }
+
+    #[test]
+    fn killed_reader_host_reshards_onto_survivors() {
+        let (model_cfg, snap) = snapshot_after(3, 8);
+        let store = InMemoryStore::new();
+        write_to(&store, &snap, 2);
+        let kill = HostKill {
+            host: 1,
+            after_chunks: 1,
+        };
+        let sharded = restore_sharded_with_failures(
+            &store,
+            "job",
+            CheckpointId(0),
+            &model_cfg,
+            &opts(4),
+            Duration::ZERO,
+            Some(kill),
+        )
+        .unwrap();
+        assert_eq!(sharded.killed_hosts, vec![1]);
+        assert!(sharded.breakdown.rescheduled_chunks > 0);
+        // Bit-identical despite the death.
+        let serial = restore(&store, "job", CheckpointId(0), &model_cfg).unwrap();
+        assert_eq!(sharded.report.state, serial.state);
+        assert_eq!(sharded.report.rows_applied, serial.rows_applied);
+    }
+
+    #[test]
+    fn all_reader_hosts_dead_is_an_error() {
+        let (model_cfg, snap) = snapshot_after(2, 8);
+        let store = InMemoryStore::new();
+        write_to(&store, &snap, 1);
+        let result = restore_sharded_with_failures(
+            &store,
+            "job",
+            CheckpointId(0),
+            &model_cfg,
+            &opts(1),
+            Duration::ZERO,
+            Some(HostKill {
+                host: 0,
+                after_chunks: 0,
+            }),
+        );
+        assert!(matches!(result, Err(CnrError::Pipeline(_))));
+    }
+
+    #[test]
+    fn transient_read_failures_heal_under_retries() {
+        let (model_cfg, snap) = snapshot_after(3, 8);
+        let inner = InMemoryStore::new();
+        write_to(&inner, &snap, 2);
+        let store = FlakyStore::failing_reads(inner, FailureMode::Every(5));
+        let options = RestoreOptions {
+            reader_hosts: 2,
+            fetch_retries: 3,
+            ..RestoreOptions::default()
+        };
+        let sharded = restore_sharded(
+            &store,
+            "job",
+            CheckpointId(0),
+            &model_cfg,
+            &options,
+            Duration::ZERO,
+        )
+        .unwrap();
+        assert_eq!(sharded.report.state, snap.model);
+        assert!(sharded.fetch_status.retries_performed > 0);
+        assert!(store.read_failures_injected() > 0);
+    }
+
+    #[test]
+    fn warm_tiered_cache_shortcuts_the_remote_fetch() {
+        let (model_cfg, snap) = snapshot_after(3, 8);
+        let clock = SimClock::new();
+        let remote = SimulatedRemoteStore::new(
+            RemoteConfig {
+                bandwidth_bytes_per_sec: 1024.0 * 1024.0,
+                base_latency: Duration::from_millis(1),
+                replication: 1,
+                channels: 4,
+            },
+            clock,
+        );
+        let store = TieredStore::new(InMemoryStore::new(), remote, 1 << 30);
+        // Tiny parts: every chunk is multipart, so warm hits depend on the
+        // reassembly being offered back to the cache (`offer_cached`) —
+        // partial ranges alone can never populate it.
+        write_to_with_parts(&store, &snap, 2, 1024);
+        let drained = store.remote().drained_at();
+        // Cold restore: chunks went up multipart, so reads miss and pay the
+        // remote channel.
+        let cold = restore_sharded(
+            &store,
+            "job",
+            CheckpointId(0),
+            &model_cfg,
+            &opts(4),
+            drained,
+        )
+        .unwrap();
+        assert_eq!(cold.report.state, snap.model);
+        let cold_rate = cold.breakdown.cache_hit_rate.expect("tiered store");
+        assert!(cold_rate < 0.5, "cold restore mostly misses: {cold_rate}");
+        assert!(cold.breakdown.fetch > Duration::ZERO);
+        // Warm restore: everything cached, no remote transfer at all.
+        let warm_start = store.remote().drained_at();
+        let warm = restore_sharded(
+            &store,
+            "job",
+            CheckpointId(0),
+            &model_cfg,
+            &opts(4),
+            warm_start,
+        )
+        .unwrap();
+        assert_eq!(warm.report.state, snap.model);
+        assert_eq!(warm.breakdown.cache_hit_rate, Some(1.0));
+        assert_eq!(
+            warm.breakdown.fetch,
+            Duration::ZERO,
+            "cache hits are local reads"
+        );
+    }
+
+    #[test]
+    fn invalid_options_are_rejected() {
+        let (model_cfg, snap) = snapshot_after(1, 8);
+        let store = InMemoryStore::new();
+        write_to(&store, &snap, 1);
+        for bad in [
+            RestoreOptions {
+                reader_hosts: 0,
+                ..RestoreOptions::default()
+            },
+            RestoreOptions {
+                fetch_window: 0,
+                ..RestoreOptions::default()
+            },
+            RestoreOptions {
+                decode_workers: 0,
+                ..RestoreOptions::default()
+            },
+        ] {
+            assert!(matches!(
+                restore_sharded(
+                    &store,
+                    "job",
+                    CheckpointId(0),
+                    &model_cfg,
+                    &bad,
+                    Duration::ZERO
+                ),
+                Err(CnrError::Config(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn decode_workers_do_not_change_the_result() {
+        let (model_cfg, snap) = snapshot_after(3, 8);
+        let store = InMemoryStore::new();
+        write_to(&store, &snap, 3);
+        let run = |workers: usize| {
+            restore_sharded(
+                &store,
+                "job",
+                CheckpointId(0),
+                &model_cfg,
+                &RestoreOptions {
+                    reader_hosts: 3,
+                    decode_workers: workers,
+                    ..RestoreOptions::default()
+                },
+                Duration::ZERO,
+            )
+            .unwrap()
+            .report
+            .state
+        };
+        assert_eq!(run(1), run(6), "worker count must not change output");
+    }
+}

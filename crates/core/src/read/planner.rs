@@ -1,0 +1,186 @@
+//! Fetch planning: assigning a restore chain's chunks to reader hosts.
+//!
+//! The restore-side mirror of [`crate::write::chunker`]. Where the write
+//! path shards *rows* (it owns the data), the read path shards *objects*:
+//! the manifests already describe every chunk (`ChunkMeta`), including how
+//! many multipart parts it was uploaded in — which is exactly the ranged
+//! fetch plan, since part boundaries are where a download can be split
+//! without re-framing. Planning is pure: the assignment depends only on the
+//! chain and the host count, never on execution timing, so a sharded
+//! restore is deterministic.
+
+use crate::manifest::Manifest;
+
+/// One chunk download owed to a reader host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FetchItem {
+    /// Position of the owning manifest in the restore chain (0 = the full
+    /// baseline). The merge stage applies levels in order.
+    pub level: usize,
+    /// Object key of the chunk.
+    pub key: String,
+    /// Writer shard that produced the chunk (diagnostics only; reader
+    /// assignment is independent of writer sharding).
+    pub shard: u16,
+    /// Serialized chunk size in bytes (from the manifest — the fetcher
+    /// never needs a `head` round trip).
+    pub bytes: u64,
+    /// Ranged reads to issue for the chunk: the multipart part count the
+    /// chunk was uploaded in (`ChunkMeta.parts`), so download granularity
+    /// mirrors upload granularity.
+    pub parts: u32,
+    /// Embedding rows in the chunk.
+    pub rows: u32,
+}
+
+/// Assigns every chunk of `chain` (oldest manifest first) to one of
+/// `reader_hosts` hosts, balancing by bytes: each chunk goes to the
+/// currently lightest host (ties to the lowest index). Returns one item
+/// list per host, in deterministic order; trailing hosts may be empty when
+/// there are fewer chunks than hosts.
+///
+/// Balancing by bytes rather than by writer shard matters: a checkpoint
+/// written by one host must still restore `reader_hosts`-wide, and a
+/// checkpoint written by more hosts than are restoring must not overload
+/// any reader.
+pub fn plan(chain: &[Manifest], reader_hosts: usize) -> Vec<Vec<FetchItem>> {
+    let hosts = reader_hosts.max(1);
+    let mut assignments: Vec<Vec<FetchItem>> = (0..hosts).map(|_| Vec::new()).collect();
+    let mut load = vec![0u64; hosts];
+    for (level, manifest) in chain.iter().enumerate() {
+        for chunk in &manifest.chunks {
+            let h = load
+                .iter()
+                .enumerate()
+                .min_by_key(|(i, l)| (**l, *i))
+                .map(|(i, _)| i)
+                .unwrap_or(0);
+            load[h] += chunk.bytes;
+            assignments[h].push(FetchItem {
+                level,
+                key: chunk.key.clone(),
+                shard: chunk.shard,
+                bytes: chunk.bytes,
+                parts: chunk.parts.max(1),
+                rows: chunk.rows,
+            });
+        }
+    }
+    assignments
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::manifest::{CheckpointId, CheckpointKind, ChunkMeta, ShardMeta, TableMeta};
+    use cnr_quant::QuantScheme;
+    use cnr_reader::ReaderState;
+
+    fn manifest_with_chunks(id: u64, sizes: &[u64]) -> Manifest {
+        let chunks: Vec<ChunkMeta> = sizes
+            .iter()
+            .enumerate()
+            .map(|(i, &bytes)| ChunkMeta {
+                key: Manifest::chunk_key("job", CheckpointId(id), 0, i as u32),
+                shard: 0,
+                rows: 8,
+                bytes,
+                parts: 1 + (bytes / 1024) as u32,
+            })
+            .collect();
+        let total: u64 = sizes.iter().sum();
+        Manifest {
+            id: CheckpointId(id),
+            kind: CheckpointKind::Full,
+            base: None,
+            iteration: 0,
+            reader_state: ReaderState::fresh(),
+            scheme: QuantScheme::Fp32,
+            tables: vec![TableMeta {
+                rows: 64,
+                dim: 8,
+                has_optimizer_state: false,
+            }],
+            bottom_mlp: vec![],
+            top_mlp: vec![],
+            chunks,
+            shards: vec![ShardMeta {
+                host: 0,
+                rows: 8 * sizes.len() as u64,
+                chunks: sizes.len() as u32,
+                bytes: total,
+                parts: 0,
+            }],
+            payload_bytes: total,
+        }
+    }
+
+    #[test]
+    fn plan_covers_every_chunk_exactly_once() {
+        let chain = vec![
+            manifest_with_chunks(0, &[100, 200, 300, 400, 500]),
+            manifest_with_chunks(1, &[50, 60]),
+        ];
+        for hosts in [1usize, 2, 3, 7] {
+            let assignment = plan(&chain, hosts);
+            assert_eq!(assignment.len(), hosts);
+            let mut keys: Vec<&str> = assignment
+                .iter()
+                .flatten()
+                .map(|i| i.key.as_str())
+                .collect();
+            keys.sort_unstable();
+            let mut expected: Vec<&str> = chain
+                .iter()
+                .flat_map(|m| m.chunks.iter().map(|c| c.key.as_str()))
+                .collect();
+            expected.sort_unstable();
+            assert_eq!(keys, expected, "hosts={hosts}");
+        }
+    }
+
+    #[test]
+    fn plan_balances_bytes_across_hosts() {
+        // 8 equal chunks over 4 hosts: exactly 2 each.
+        let chain = vec![manifest_with_chunks(0, &[1000; 8])];
+        let assignment = plan(&chain, 4);
+        for items in &assignment {
+            assert_eq!(items.len(), 2);
+        }
+        // Skewed sizes still stay within one max-chunk of balance.
+        let chain = vec![manifest_with_chunks(0, &[900, 100, 100, 100, 100, 100])];
+        let assignment = plan(&chain, 2);
+        let loads: Vec<u64> = assignment
+            .iter()
+            .map(|items| items.iter().map(|i| i.bytes).sum())
+            .collect();
+        assert!(loads.iter().max().unwrap() - loads.iter().min().unwrap() <= 900);
+    }
+
+    #[test]
+    fn plan_records_levels_and_parts() {
+        let chain = vec![
+            manifest_with_chunks(0, &[2048]),
+            manifest_with_chunks(1, &[10]),
+        ];
+        let assignment = plan(&chain, 1);
+        assert_eq!(assignment[0][0].level, 0);
+        assert_eq!(assignment[0][0].parts, 3, "parts follow ChunkMeta");
+        assert_eq!(assignment[0][1].level, 1);
+    }
+
+    #[test]
+    fn plan_is_deterministic() {
+        let chain = vec![manifest_with_chunks(0, &[7, 7, 7, 9, 9, 3])];
+        assert_eq!(plan(&chain, 3), plan(&chain, 3));
+    }
+
+    #[test]
+    fn more_hosts_than_chunks_leaves_trailing_hosts_idle() {
+        let chain = vec![manifest_with_chunks(0, &[5, 5])];
+        let assignment = plan(&chain, 4);
+        assert_eq!(assignment[0].len(), 1);
+        assert_eq!(assignment[1].len(), 1);
+        assert!(assignment[2].is_empty() && assignment[3].is_empty());
+    }
+}

@@ -1,0 +1,351 @@
+//! The fetch scheduler: bounded in-flight ranged downloads with
+//! backpressure, per reader host — the read-side mirror of
+//! [`crate::write::scheduler`].
+//!
+//! Every chunk downloads as a sequence of ranged reads
+//! ([`ObjectStore::get_part`]) over its reader host's downlink (channel).
+//! The scheduler bounds how many ranges a host may have in flight in
+//! *simulated* time: range `n` may not start before range `n − window` has
+//! finished transferring — decoded rows buffer in bounded host memory until
+//! the merge stage consumes them, just as quantized chunks buffer on the
+//! write side until the network accepts them. Transient read failures are
+//! retried in place (a bounded number of times) rather than failing the
+//! whole restore: remote reads time out in practice and the paper's
+//! time-to-resume model only cares that the bytes eventually arrive.
+
+use crate::error::{CnrError, Result};
+use bytes::Bytes;
+use cnr_storage::{ObjectStore, StorageError};
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Point-in-time view of the scheduler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FetchStatus {
+    /// Ranged reads still transferring at the polled instant.
+    pub in_flight_parts: usize,
+    /// Simulated time at which everything fetched so far has arrived.
+    pub ready_at: Duration,
+    /// Ranged reads completed so far.
+    pub parts_fetched: u64,
+    /// Times a range's start was delayed because its host's window was full.
+    pub backpressure_stalls: u64,
+    /// Transient read failures absorbed by retries.
+    pub retries_performed: u64,
+}
+
+struct FetchState {
+    /// Completion times of in-flight ranges, one min-heap per host.
+    windows: Vec<BinaryHeap<Reverse<Duration>>>,
+    /// No range may start before this simulated time (the failure instant,
+    /// raised to the chain-load completion once the manifests are in).
+    floor: Duration,
+    ready_at: Duration,
+    parts_fetched: u64,
+    backpressure_stalls: u64,
+    retries_performed: u64,
+}
+
+/// Schedules chunk downloads for one restore across all reader hosts.
+pub struct FetchScheduler<'a> {
+    store: &'a dyn ObjectStore,
+    window: usize,
+    retries: u32,
+    state: Mutex<FetchState>,
+    /// One issuance lock per host: admit → read → record must be atomic
+    /// per host, or concurrent decode threads sharing a host could exceed
+    /// its in-flight window (and make its timing schedule-dependent).
+    issue: Vec<Mutex<()>>,
+}
+
+impl<'a> FetchScheduler<'a> {
+    /// Creates a scheduler over `store` for `hosts` reader hosts, each with
+    /// an in-flight window of `window` ranged reads, retrying each
+    /// transiently failed range up to `retries` times before giving up.
+    /// No transfer starts before `start_floor` (the failure instant).
+    pub fn new(
+        store: &'a dyn ObjectStore,
+        hosts: usize,
+        window: usize,
+        retries: u32,
+        start_floor: Duration,
+    ) -> Self {
+        assert!(hosts >= 1 && window >= 1);
+        Self {
+            store,
+            window,
+            retries,
+            state: Mutex::new(FetchState {
+                windows: (0..hosts).map(|_| BinaryHeap::new()).collect(),
+                floor: start_floor,
+                ready_at: start_floor,
+                parts_fetched: 0,
+                backpressure_stalls: 0,
+                retries_performed: 0,
+            }),
+            issue: (0..hosts).map(|_| Mutex::new(())).collect(),
+        }
+    }
+
+    /// Raises the start floor: subsequent ranges may not begin before `t`.
+    /// The coordinator calls this after the manifest chain loads — chunk
+    /// fetches cannot start before the plan that names them exists.
+    pub fn set_floor(&self, t: Duration) {
+        let mut s = self.state.lock().unwrap();
+        s.floor = s.floor.max(t);
+        s.ready_at = s.ready_at.max(s.floor);
+    }
+
+    /// Downloads the `bytes`-byte object at `key` over host `host`'s
+    /// downlink as `parts` ranged reads under window backpressure,
+    /// returning the assembled bytes and the simulated time the last range
+    /// arrived. Transient failures (I/O timeouts) retry in place;
+    /// exhausted retries and non-transient errors (missing object, bad
+    /// range) propagate immediately.
+    pub fn fetch_chunk(
+        &self,
+        host: u16,
+        key: &str,
+        bytes: u64,
+        parts: u32,
+    ) -> Result<(Bytes, Duration)> {
+        let nparts = parts.max(1) as u64;
+        let part_len = bytes.div_ceil(nparts).max(1);
+        let mut assembled = Vec::with_capacity(bytes as usize);
+        let mut arrived_at = Duration::ZERO;
+        let mut offset = 0u64;
+        while offset < bytes || (bytes == 0 && offset == 0) {
+            let len = part_len.min(bytes - offset);
+            // Hold the host's issuance lock across admit → read → record
+            // so the in-flight window bound holds under concurrent decode
+            // threads (reads are wall-instant; only simulated time is
+            // scheduled here).
+            let guard = self.issue[host as usize].lock().unwrap();
+            let not_before = self.admit(host as usize);
+            let mut attempt = 0u32;
+            let (data, receipt) = loop {
+                match self
+                    .store
+                    .get_part(key, offset, len, host as u32, not_before)
+                {
+                    Ok(ok) => break ok,
+                    Err(StorageError::Io(_)) if attempt < self.retries => {
+                        attempt += 1;
+                        self.state.lock().unwrap().retries_performed += 1;
+                        // Transient: retry the same range.
+                    }
+                    Err(e) => return Err(CnrError::from(e)),
+                }
+            };
+            self.record(host as usize, receipt.completed_at);
+            drop(guard);
+            arrived_at = arrived_at.max(receipt.completed_at);
+            assembled.extend_from_slice(&data);
+            offset += len;
+            if bytes == 0 {
+                break;
+            }
+        }
+        let data = Bytes::from(assembled);
+        if nparts > 1 {
+            // The miss path of a caching tier can only retain whole-object
+            // ranges; hand multi-part reassemblies back explicitly so warm
+            // restores hit the cache for large chunks too.
+            self.store.offer_cached(key, data.clone());
+        }
+        Ok((data, arrived_at))
+    }
+
+    /// Admits the next range on `host`'s window: returns the earliest
+    /// simulated time its transfer may start. With a full window that is
+    /// the completion time of the oldest in-flight range — backpressure.
+    /// Callers hold the host's issuance lock.
+    fn admit(&self, host: usize) -> Duration {
+        let mut s = self.state.lock().unwrap();
+        let floor = s.floor;
+        if s.windows[host].len() >= self.window {
+            let Reverse(earliest) = s.windows[host].pop().expect("window is non-empty");
+            s.backpressure_stalls += 1;
+            earliest.max(floor)
+        } else {
+            floor
+        }
+    }
+
+    fn record(&self, host: usize, completed_at: Duration) {
+        let mut s = self.state.lock().unwrap();
+        s.windows[host].push(Reverse(completed_at));
+        s.ready_at = s.ready_at.max(completed_at);
+        s.parts_fetched += 1;
+    }
+
+    /// The store downloads come from.
+    pub fn store(&self) -> &'a dyn ObjectStore {
+        self.store
+    }
+
+    /// Simulated time at which everything fetched so far has arrived.
+    pub fn ready_at(&self) -> Duration {
+        self.state.lock().unwrap().ready_at
+    }
+
+    /// Polls the scheduler at simulated time `now`: retires finished ranges
+    /// and reports what is still in flight.
+    pub fn poll(&self, now: Duration) -> FetchStatus {
+        let mut s = self.state.lock().unwrap();
+        for w in &mut s.windows {
+            while matches!(w.peek(), Some(&Reverse(t)) if t <= now) {
+                w.pop();
+            }
+        }
+        FetchStatus {
+            in_flight_parts: s.windows.iter().map(|w| w.len()).sum(),
+            ready_at: s.ready_at,
+            parts_fetched: s.parts_fetched,
+            backpressure_stalls: s.backpressure_stalls,
+            retries_performed: s.retries_performed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnr_cluster::SimClock;
+    use cnr_storage::{
+        FailureMode, FlakyStore, InMemoryStore, RemoteConfig, SimulatedRemoteStore,
+    };
+
+    fn remote(bw_mbps: f64, channels: u32) -> SimulatedRemoteStore {
+        SimulatedRemoteStore::new(
+            RemoteConfig {
+                bandwidth_bytes_per_sec: bw_mbps * 1024.0 * 1024.0,
+                base_latency: Duration::ZERO,
+                replication: 1,
+                channels,
+            },
+            SimClock::new(),
+        )
+    }
+
+    fn mb(n: usize) -> Bytes {
+        Bytes::from(vec![0u8; n * 1024 * 1024])
+    }
+
+    #[test]
+    fn fetches_in_ranges_and_reassembles() {
+        let store = InMemoryStore::new();
+        let payload = Bytes::from((0u8..=249).collect::<Vec<u8>>());
+        store.put("obj", payload.clone()).unwrap();
+        let sched = FetchScheduler::new(&store, 1, 4, 0, Duration::ZERO);
+        let (data, _) = sched.fetch_chunk(0, "obj", 250, 3).unwrap();
+        assert_eq!(data, payload);
+        assert_eq!(sched.poll(Duration::ZERO).parts_fetched, 3);
+    }
+
+    #[test]
+    fn empty_object_is_one_range() {
+        let store = InMemoryStore::new();
+        store.put("obj", Bytes::new()).unwrap();
+        let sched = FetchScheduler::new(&store, 1, 4, 0, Duration::ZERO);
+        let (data, _) = sched.fetch_chunk(0, "obj", 0, 1).unwrap();
+        assert!(data.is_empty());
+    }
+
+    #[test]
+    fn full_window_applies_backpressure() {
+        let store = remote(1.0, 1);
+        store.put("obj", mb(3)).unwrap(); // channel busy until 3s
+        let sched = FetchScheduler::new(&store, 1, 1, 0, Duration::ZERO);
+        let (_, arrived) = sched.fetch_chunk(0, "obj", 3 * 1024 * 1024, 3).unwrap();
+        // 3 MB written + 3 MB read back over the same 1 MB/s channel.
+        assert!((arrived.as_secs_f64() - 6.0).abs() < 1e-6);
+        assert_eq!(sched.poll(Duration::ZERO).backpressure_stalls, 2);
+        // A wide window never stalls.
+        let sched = FetchScheduler::new(&store, 1, 8, 0, Duration::ZERO);
+        sched.fetch_chunk(0, "obj", 3 * 1024 * 1024, 3).unwrap();
+        assert_eq!(sched.poll(Duration::ZERO).backpressure_stalls, 0);
+    }
+
+    #[test]
+    fn ready_at_tracks_the_slowest_host() {
+        let store = remote(1.0, 2);
+        store.put("a", mb(1)).unwrap();
+        store.put("b", mb(2)).unwrap();
+        let write_drain = store.drained_at();
+        let sched = FetchScheduler::new(&store, 2, 8, 0, Duration::ZERO);
+        sched.fetch_chunk(0, "a", 1024 * 1024, 1).unwrap();
+        sched.fetch_chunk(1, "b", 2 * 1024 * 1024, 1).unwrap();
+        assert!((sched.ready_at().as_secs_f64() - (write_drain.as_secs_f64() + 2.0)).abs() < 1e-6);
+        assert_eq!(
+            sched.poll(Duration::from_secs(60)).in_flight_parts,
+            0,
+            "everything retired after arrival"
+        );
+    }
+
+    #[test]
+    fn transient_read_failures_are_retried() {
+        let store = FlakyStore::failing_reads(InMemoryStore::new(), FailureMode::FirstN(2));
+        store.put("obj", Bytes::from(vec![7u8; 100])).unwrap();
+        let sched = FetchScheduler::new(&store, 1, 4, 3, Duration::ZERO);
+        let (data, _) = sched.fetch_chunk(0, "obj", 100, 2).unwrap();
+        assert_eq!(data.len(), 100);
+        assert_eq!(sched.poll(Duration::ZERO).retries_performed, 2);
+    }
+
+    #[test]
+    fn exhausted_retries_propagate_the_error() {
+        let store = FlakyStore::failing_reads(InMemoryStore::new(), FailureMode::Every(1));
+        store.put("obj", Bytes::from(vec![7u8; 100])).unwrap();
+        let sched = FetchScheduler::new(&store, 1, 4, 2, Duration::ZERO);
+        assert!(matches!(
+            sched.fetch_chunk(0, "obj", 100, 1),
+            Err(CnrError::Storage(_))
+        ));
+    }
+
+    #[test]
+    fn missing_object_fails_without_retry_help() {
+        let store = InMemoryStore::new();
+        let sched = FetchScheduler::new(&store, 1, 4, 2, Duration::ZERO);
+        assert!(sched.fetch_chunk(0, "nope", 10, 1).is_err());
+        // Non-transient errors never consume retries.
+        assert_eq!(sched.poll(Duration::ZERO).retries_performed, 0);
+    }
+
+    #[test]
+    fn start_floor_delays_every_range() {
+        let store = remote(1.0, 2);
+        store.put("obj", mb(1)).unwrap(); // channel 0 busy until 1s
+        let floor = Duration::from_secs(10);
+        let sched = FetchScheduler::new(&store, 2, 4, 0, floor);
+        assert_eq!(sched.ready_at(), floor, "nothing fetched yet");
+        let (_, arrived) = sched.fetch_chunk(1, "obj", 1024 * 1024, 1).unwrap();
+        assert!(arrived >= floor + Duration::from_secs(1), "read starts at the floor");
+        // Raising the floor moves subsequent ranges, not completed ones.
+        sched.set_floor(Duration::from_secs(20));
+        let (_, arrived2) = sched.fetch_chunk(1, "obj", 1024, 1).unwrap();
+        assert!(arrived2 >= Duration::from_secs(20));
+    }
+
+    #[test]
+    fn multipart_reassembly_is_offered_back_to_the_cache() {
+        use cnr_storage::TieredStore;
+        let remote = InMemoryStore::new();
+        remote.put("chunk", Bytes::from(vec![3u8; 4096])).unwrap();
+        let store = TieredStore::new(InMemoryStore::new(), remote, 1 << 20);
+        let sched = FetchScheduler::new(&store, 1, 4, 0, Duration::ZERO);
+        // 4 partial ranges: none can populate the cache on its own...
+        let (data, _) = sched.fetch_chunk(0, "chunk", 4096, 4).unwrap();
+        assert_eq!(data.len(), 4096);
+        // ...but the reassembled object was offered back, so the next
+        // fetch is all cache hits.
+        assert!(store.cache().get("chunk").is_ok(), "reassembly cached");
+        let before = store.cache_hits();
+        sched.fetch_chunk(0, "chunk", 4096, 4).unwrap();
+        assert_eq!(store.cache_hits(), before + 4);
+    }
+}

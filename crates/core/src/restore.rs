@@ -52,14 +52,15 @@ pub fn load_manifest(store: &dyn ObjectStore, job: &str, id: CheckpointId) -> Re
     Manifest::decode(&bytes)
 }
 
-/// Restores checkpoint `target`, validating geometry against `config`.
-pub fn restore(
+/// Walks base pointers from `target` back to its full baseline and returns
+/// the manifest chain oldest (full) first. Detects missing base pointers
+/// and cycles. Shared by the serial restore below and the sharded
+/// [`crate::read`] pipeline.
+pub(crate) fn load_chain(
     store: &dyn ObjectStore,
     job: &str,
     target: CheckpointId,
-    config: &ModelConfig,
-) -> Result<RestoreReport> {
-    // Walk base pointers back to the full baseline.
+) -> Result<Vec<Manifest>> {
     let mut chain_manifests = vec![load_manifest(store, job, target)?];
     while chain_manifests.last().unwrap().kind != CheckpointKind::Full {
         let m = chain_manifests.last().unwrap();
@@ -74,10 +75,12 @@ pub fn restore(
         chain_manifests.push(load_manifest(store, job, base)?);
     }
     chain_manifests.reverse(); // oldest (full) first
+    Ok(chain_manifests)
+}
 
-    let newest = chain_manifests.last().unwrap().clone();
-
-    // Validate geometry against the running model configuration.
+/// Validates the newest manifest's geometry against the running model
+/// configuration.
+pub(crate) fn validate_geometry(newest: &Manifest, config: &ModelConfig) -> Result<()> {
     if newest.tables.len() != config.tables.len() {
         return Err(CnrError::ShapeMismatch(format!(
             "checkpoint has {} tables, model has {}",
@@ -93,6 +96,42 @@ pub fn restore(
             )));
         }
     }
+    Ok(())
+}
+
+/// Shard-merge integrity of one manifest: the per-host summaries must
+/// account for exactly the chunks the manifest references. A mismatch
+/// means a writer host's output was lost after the manifest was written.
+pub(crate) fn validate_shard_summaries(manifest: &Manifest) -> Result<()> {
+    let shard_rows: u64 = manifest.shards.iter().map(|s| s.rows).sum();
+    let chunk_rows: u64 = manifest.chunks.iter().map(|c| c.rows as u64).sum();
+    if shard_rows != chunk_rows {
+        return Err(CnrError::Corrupt(format!(
+            "manifest {} shard summaries cover {shard_rows} rows but chunks cover {chunk_rows}",
+            manifest.id
+        )));
+    }
+    for chunk in &manifest.chunks {
+        if !manifest.shards.iter().any(|s| s.host == chunk.shard) {
+            return Err(CnrError::Corrupt(format!(
+                "chunk {} belongs to unknown shard {}",
+                chunk.key, chunk.shard
+            )));
+        }
+    }
+    Ok(())
+}
+
+/// Restores checkpoint `target`, validating geometry against `config`.
+pub fn restore(
+    store: &dyn ObjectStore,
+    job: &str,
+    target: CheckpointId,
+    config: &ModelConfig,
+) -> Result<RestoreReport> {
+    let chain_manifests = load_chain(store, job, target)?;
+    let newest = chain_manifests.last().unwrap().clone();
+    validate_geometry(&newest, config)?;
 
     // Allocate the state template.
     let mut tables: Vec<TableState> = newest
@@ -110,25 +149,7 @@ pub fn restore(
     let mut shards_merged = 0usize;
     let mut bytes_read = 0u64;
     for manifest in &chain_manifests {
-        // Shard-merge integrity: the per-host summaries must account for
-        // exactly the chunks the manifest references. A mismatch means a
-        // writer host's output was lost after the manifest was written.
-        let shard_rows: u64 = manifest.shards.iter().map(|s| s.rows).sum();
-        let chunk_rows: u64 = manifest.chunks.iter().map(|c| c.rows as u64).sum();
-        if shard_rows != chunk_rows {
-            return Err(CnrError::Corrupt(format!(
-                "manifest {} shard summaries cover {shard_rows} rows but chunks cover {chunk_rows}",
-                manifest.id
-            )));
-        }
-        for chunk in &manifest.chunks {
-            if !manifest.shards.iter().any(|s| s.host == chunk.shard) {
-                return Err(CnrError::Corrupt(format!(
-                    "chunk {} belongs to unknown shard {}",
-                    chunk.key, chunk.shard
-                )));
-            }
-        }
+        validate_shard_summaries(manifest)?;
         shards_merged += manifest.shards.len();
         for chunk_meta in &manifest.chunks {
             let bytes = store.get(&chunk_meta.key)?;

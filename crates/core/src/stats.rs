@@ -35,6 +35,32 @@ pub struct IntervalStats {
     pub quantize_cpu_time: Duration,
 }
 
+/// Accounting for one recovery (restore) event — the time-to-resume
+/// breakdown of the paper's downtime model (§2, §5): a preempted job is
+/// down until its state is fetched, de-quantized, and merged.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ResumeStats {
+    /// Resume number (0-based).
+    pub resume: u32,
+    /// Checkpoint the job resumed from.
+    pub checkpoint: CheckpointId,
+    /// Reader hosts that fetched the chain in parallel.
+    pub reader_hosts: usize,
+    /// Simulated time the sharded fetch took (failure instant → last byte).
+    pub fetch: Duration,
+    /// CPU time spent decoding + de-quantizing chunks.
+    pub decode: Duration,
+    /// CPU time spent merging decoded rows into model state.
+    pub merge: Duration,
+    /// Total time-to-resume (fetch + decode + merge).
+    pub time_to_resume: Duration,
+    /// Logical bytes fetched (chunks + manifests).
+    pub bytes_fetched: u64,
+    /// Cache-tier hit rate of the restore's reads (`None` when the store
+    /// has no cache tier).
+    pub cache_hit_rate: Option<f64>,
+}
+
 /// Accumulated statistics of one training run.
 #[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct RunStats {
@@ -43,6 +69,8 @@ pub struct RunStats {
     pub full_reference_bytes: u64,
     /// Per-interval records in order.
     pub intervals: Vec<IntervalStats>,
+    /// Per-recovery records in order.
+    pub resumes: Vec<ResumeStats>,
 }
 
 impl RunStats {
@@ -51,12 +79,31 @@ impl RunStats {
         Self {
             full_reference_bytes,
             intervals: Vec::new(),
+            resumes: Vec::new(),
         }
     }
 
     /// Appends one interval record.
     pub fn push(&mut self, stats: IntervalStats) {
         self.intervals.push(stats);
+    }
+
+    /// Appends one recovery record.
+    pub fn push_resume(&mut self, stats: ResumeStats) {
+        self.resumes.push(stats);
+    }
+
+    /// Total time the run spent resuming from checkpoints.
+    pub fn total_resume_time(&self) -> Duration {
+        self.resumes.iter().map(|r| r.time_to_resume).sum()
+    }
+
+    /// Mean time-to-resume per recovery (zero when none happened).
+    pub fn mean_time_to_resume(&self) -> Duration {
+        if self.resumes.is_empty() {
+            return Duration::ZERO;
+        }
+        self.total_resume_time() / self.resumes.len() as u32
     }
 
     /// Mean bytes stored per interval — the average write bandwidth proxy.
@@ -154,5 +201,28 @@ mod tests {
         assert_eq!(s.mean_stored_bytes(), 0.0);
         assert_eq!(s.peak_capacity_fraction(), 0.0);
         assert!(s.bandwidth_reduction_vs_full().is_infinite());
+        assert_eq!(s.mean_time_to_resume(), Duration::ZERO);
+        assert_eq!(s.total_resume_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn resume_stats_accumulate() {
+        let mut s = RunStats::new(1000);
+        for (i, fetch_s) in [4u64, 8].iter().enumerate() {
+            s.push_resume(ResumeStats {
+                resume: i as u32,
+                checkpoint: CheckpointId(i as u64),
+                reader_hosts: 4,
+                fetch: Duration::from_secs(*fetch_s),
+                decode: Duration::from_millis(500),
+                merge: Duration::from_millis(500),
+                time_to_resume: Duration::from_secs(*fetch_s + 1),
+                bytes_fetched: 1 << 20,
+                cache_hit_rate: Some(0.5),
+            });
+        }
+        assert_eq!(s.resumes.len(), 2);
+        assert_eq!(s.total_resume_time(), Duration::from_secs(14));
+        assert_eq!(s.mean_time_to_resume(), Duration::from_secs(7));
     }
 }

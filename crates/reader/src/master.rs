@@ -50,6 +50,10 @@ struct Inner {
     next_to_emit: u64,
     /// Exclusive upper bound of the current budget.
     budget_end: u64,
+    /// Exclusive upper bound of warm *generation* (see
+    /// [`ReaderMaster::preload`]): workers may generate up to
+    /// `max(budget_end, preload_end)` but delivery stays budget-gated.
+    preload_end: u64,
     /// Generated batches awaiting ordered delivery.
     ready: BTreeMap<u64, Batch>,
     shutdown: bool,
@@ -81,6 +85,7 @@ impl ReaderMaster {
                 next_to_generate: state.next_batch,
                 next_to_emit: state.next_batch,
                 budget_end: state.next_batch,
+                preload_end: state.next_batch,
                 ready: BTreeMap::new(),
                 shutdown: false,
             }),
@@ -107,6 +112,24 @@ impl ReaderMaster {
     pub fn extend_budget(&self, n: u64) {
         let mut inner = self.shared.state.lock();
         inner.budget_end += n;
+        drop(inner);
+        self.shared.cond.notify_all();
+    }
+
+    /// Warms the reorder buffer: lets workers generate up to `n` batches
+    /// *ahead* of the delivery budget (still capped by the queue depth)
+    /// without extending the budget itself. Delivery stays exactly
+    /// budget-gated, so the §4.1 gap-free guarantee is untouched — preloaded
+    /// batches are just a warm cache that the next `extend_budget` drains
+    /// instantly.
+    ///
+    /// The recovery path calls this while a restore's fetch/decode is still
+    /// running, so training resumes against a full queue instead of cold
+    /// workers (reader warm-up overlaps the restore instead of adding to
+    /// time-to-resume).
+    pub fn preload(&self, n: u64) {
+        let mut inner = self.shared.state.lock();
+        inner.preload_end = inner.preload_end.max(inner.next_to_emit + n);
         drop(inner);
         self.shared.cond.notify_all();
     }
@@ -143,7 +166,12 @@ impl ReaderMaster {
         while inner.next_to_emit < inner.budget_end {
             self.shared.cond.wait(&mut inner);
         }
-        debug_assert!(inner.ready.is_empty(), "drained reader retains batches");
+        // Preloaded batches beyond the budget may legitimately remain
+        // buffered; nothing *within* the budget may.
+        debug_assert!(
+            inner.ready.keys().all(|k| *k >= inner.budget_end),
+            "drained reader retains budgeted batches"
+        );
         ReaderState::at(inner.next_to_emit)
     }
 
@@ -186,7 +214,8 @@ fn worker_loop(shared: &Shared, dataset: &SyntheticDataset, queue_depth: usize) 
                 if inner.shutdown {
                     return;
                 }
-                let within_budget = inner.next_to_generate < inner.budget_end;
+                let within_budget =
+                    inner.next_to_generate < inner.budget_end.max(inner.preload_end);
                 let within_depth =
                     inner.next_to_generate - inner.next_to_emit < queue_depth as u64;
                 if within_budget && within_depth {
@@ -333,6 +362,61 @@ mod tests {
         reader.extend_budget(100);
         reader.next_batch();
         drop(reader); // workers blocked on depth/budget must exit
+    }
+
+    #[test]
+    fn preload_warms_the_queue_without_extending_the_budget() {
+        let reader = ReaderMaster::new(
+            dataset(),
+            ReaderConfig {
+                workers: 2,
+                queue_depth: 8,
+            },
+        );
+        reader.preload(4);
+        // Workers generate the preloaded batches...
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        while reader.in_flight() < 4 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert_eq!(reader.in_flight(), 4, "preload generated ahead");
+        // ...but delivery is still budget-gated: the budget is empty, so the
+        // reader state is collectable immediately and reports no progress.
+        assert_eq!(reader.remaining_budget(), 0);
+        assert_eq!(reader.collect_state().next_batch, 0);
+        // Extending the budget drains the warm queue with correct ordering.
+        reader.extend_budget(4);
+        for i in 0..4u64 {
+            assert_eq!(reader.next_batch().index, i);
+        }
+        assert_eq!(reader.collect_state().next_batch, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "beyond the checkpoint budget")]
+    fn preload_does_not_permit_overconsumption() {
+        let reader = ReaderMaster::new(dataset(), ReaderConfig::default());
+        reader.preload(3);
+        reader.next_batch(); // budget is zero: still a protocol violation
+    }
+
+    #[test]
+    fn preload_respects_queue_depth() {
+        let reader = ReaderMaster::new(
+            dataset(),
+            ReaderConfig {
+                workers: 4,
+                queue_depth: 2,
+            },
+        );
+        reader.preload(50);
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        assert!(reader.in_flight() <= 2, "depth caps preload");
+        // Drain so Drop shuts down cleanly.
+        reader.extend_budget(50);
+        for _ in 0..50 {
+            reader.next_batch();
+        }
     }
 
     #[test]

@@ -25,13 +25,19 @@ pub enum FailureMode {
     Once(u64),
 }
 
-/// Wraps a store, injecting deterministic put failures: failures depend
-/// only on the operation count, so tests are reproducible.
+/// Wraps a store, injecting deterministic put (and optionally read)
+/// failures: failures depend only on the operation count, so tests are
+/// reproducible. Writes and reads have independent modes and counters —
+/// a restore test can inject read timeouts without perturbing writes.
 pub struct FlakyStore<S> {
     inner: S,
     mode: FailureMode,
+    /// Read-side injection; `None` leaves reads healthy (the default).
+    read_mode: Option<FailureMode>,
     puts: AtomicU64,
+    reads: AtomicU64,
     failures_injected: AtomicU64,
+    read_failures_injected: AtomicU64,
 }
 
 impl<S: ObjectStore> FlakyStore<S> {
@@ -50,9 +56,24 @@ impl<S: ObjectStore> FlakyStore<S> {
         Self {
             inner,
             mode,
+            read_mode: None,
             puts: AtomicU64::new(0),
+            reads: AtomicU64::new(0),
             failures_injected: AtomicU64::new(0),
+            read_failures_injected: AtomicU64::new(0),
         }
+    }
+
+    /// Wraps `inner` with healthy writes and the given *read* failure mode
+    /// (`get`, `get_range`, and `get_part` share one read counter).
+    pub fn failing_reads(inner: S, mode: FailureMode) -> Self {
+        Self::with_mode(inner, FailureMode::Every(0)).with_read_mode(mode)
+    }
+
+    /// Adds a read failure mode on top of the existing write mode.
+    pub fn with_read_mode(mut self, mode: FailureMode) -> Self {
+        self.read_mode = Some(mode);
+        self
     }
 
     /// The wrapped store.
@@ -60,25 +81,50 @@ impl<S: ObjectStore> FlakyStore<S> {
         &self.inner
     }
 
-    /// Number of failures injected so far.
+    /// Number of write failures injected so far.
     pub fn failures_injected(&self) -> u64 {
         self.failures_injected.load(Ordering::Relaxed)
+    }
+
+    /// Number of read failures injected so far.
+    pub fn read_failures_injected(&self) -> u64 {
+        self.read_failures_injected.load(Ordering::Relaxed)
+    }
+
+    fn decide(mode: FailureMode, n: u64) -> bool {
+        match mode {
+            FailureMode::Every(every) => every > 0 && n.is_multiple_of(every),
+            FailureMode::FirstN(first) => n <= first,
+            FailureMode::Once(nth) => n == nth,
+        }
     }
 
     /// Counts one write attempt (whole-object put or multipart part) and
     /// decides whether to inject a failure for it.
     fn should_fail(&self, key: &str) -> Result<()> {
         let n = self.puts.fetch_add(1, Ordering::Relaxed) + 1;
-        let fail = match self.mode {
-            FailureMode::Every(every) => every > 0 && n.is_multiple_of(every),
-            FailureMode::FirstN(first) => n <= first,
-            FailureMode::Once(nth) => n == nth,
-        };
-        if fail {
+        if Self::decide(self.mode, n) {
             self.failures_injected.fetch_add(1, Ordering::Relaxed);
             return Err(StorageError::Io(std::io::Error::new(
                 std::io::ErrorKind::TimedOut,
                 format!("injected failure on put #{n} ({key})"),
+            )));
+        }
+        Ok(())
+    }
+
+    /// Counts one read attempt (`get` / `get_range` / `get_part`) and
+    /// decides whether to inject a failure for it.
+    fn should_fail_read(&self, key: &str) -> Result<()> {
+        let Some(mode) = self.read_mode else {
+            return Ok(());
+        };
+        let n = self.reads.fetch_add(1, Ordering::Relaxed) + 1;
+        if Self::decide(mode, n) {
+            self.read_failures_injected.fetch_add(1, Ordering::Relaxed);
+            return Err(StorageError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                format!("injected failure on read #{n} ({key})"),
             )));
         }
         Ok(())
@@ -92,7 +138,25 @@ impl<S: ObjectStore> ObjectStore for FlakyStore<S> {
     }
 
     fn get(&self, key: &str) -> Result<Bytes> {
+        self.should_fail_read(key)?;
         self.inner.get(key)
+    }
+
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Bytes> {
+        self.should_fail_read(key)?;
+        self.inner.get_range(key, offset, len)
+    }
+
+    fn get_part(
+        &self,
+        key: &str,
+        offset: u64,
+        len: u64,
+        channel: u32,
+        not_before: Duration,
+    ) -> Result<(Bytes, crate::GetReceipt)> {
+        self.should_fail_read(key)?;
+        self.inner.get_part(key, offset, len, channel, not_before)
     }
 
     fn delete(&self, key: &str) -> Result<()> {
@@ -210,5 +274,40 @@ mod tests {
         assert_eq!(store.get("a").unwrap(), Bytes::from_static(b"1"));
         assert_eq!(store.total_bytes(), 1);
         assert_eq!(store.list("").unwrap(), vec!["a".to_string()]);
+        assert_eq!(store.read_failures_injected(), 0);
+    }
+
+    #[test]
+    fn read_injection_fails_every_nth_read() {
+        let store = FlakyStore::failing_reads(InMemoryStore::new(), FailureMode::Every(2));
+        store.put("a", Bytes::from_static(b"0123")).unwrap();
+        assert!(store.get("a").is_ok()); // read #1
+        assert!(store.get("a").is_err()); // read #2 injected
+        assert!(store.get_range("a", 0, 2).is_ok()); // read #3
+        assert!(
+            store.get_part("a", 0, 2, 0, Duration::ZERO).is_err(),
+            "ranged reads share the counter"
+        );
+        assert_eq!(store.read_failures_injected(), 2);
+        assert_eq!(store.failures_injected(), 0, "writes untouched");
+    }
+
+    #[test]
+    fn transient_read_outage_heals() {
+        let store = FlakyStore::failing_reads(InMemoryStore::new(), FailureMode::FirstN(2));
+        store.put("a", Bytes::from_static(b"x")).unwrap();
+        assert!(store.get("a").is_err());
+        assert!(store.get("a").is_err());
+        assert!(store.get("a").is_ok(), "outage over");
+    }
+
+    #[test]
+    fn read_and_write_injection_compose() {
+        let store = FlakyStore::with_mode(InMemoryStore::new(), FailureMode::Once(1))
+            .with_read_mode(FailureMode::Once(1));
+        assert!(store.put("a", Bytes::from_static(b"x")).is_err());
+        assert!(store.put("a", Bytes::from_static(b"x")).is_ok());
+        assert!(store.get("a").is_err());
+        assert!(store.get("a").is_ok());
     }
 }

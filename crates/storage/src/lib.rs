@@ -26,13 +26,13 @@ pub mod multipart;
 pub mod remote;
 pub mod tiered;
 
-pub use flaky::FlakyStore;
+pub use flaky::{FailureMode, FlakyStore};
 pub use fs::FsStore;
 pub use memory::InMemoryStore;
 pub use metrics::{CapacityPoint, StoreMetrics};
 pub use multipart::{MultipartUpload, PartReceipt};
 pub use remote::{RemoteConfig, SimulatedRemoteStore};
-pub use tiered::TieredStore;
+pub use tiered::{EvictionPolicy, TieredStore};
 
 use bytes::Bytes;
 use std::time::Duration;
@@ -46,6 +46,10 @@ pub enum StorageError {
     Io(std::io::Error),
     /// The key is syntactically unacceptable to this backend.
     InvalidKey(String),
+    /// A ranged read asked for bytes beyond the object's end. Ranges come
+    /// from checkpoint manifests, so an out-of-range request means the
+    /// object and its metadata disagree — never silently clamped.
+    OutOfRange(String),
 }
 
 impl std::fmt::Display for StorageError {
@@ -54,6 +58,7 @@ impl std::fmt::Display for StorageError {
             StorageError::NotFound(k) => write!(f, "object not found: {k}"),
             StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
             StorageError::InvalidKey(k) => write!(f, "invalid object key: {k}"),
+            StorageError::OutOfRange(m) => write!(f, "ranged read out of range: {m}"),
         }
     }
 }
@@ -100,6 +105,69 @@ pub struct PutReceipt {
     pub completed_at: Duration,
 }
 
+/// Receipt returned by [`ObjectStore::get_part`] — the read-side mirror of
+/// [`PartReceipt`]: how long the ranged download occupied its channel and
+/// when (in simulated time) the bytes were available to the reader host.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GetReceipt {
+    /// Logical bytes read.
+    pub bytes: u64,
+    /// Time the transfer occupied the download channel (zero for local
+    /// backends).
+    pub transfer_time: Duration,
+    /// Absolute simulated time at which the bytes arrived (zero for local
+    /// backends, which are instantaneous).
+    pub completed_at: Duration,
+}
+
+/// Hit/miss counters of a store's cache tier (see
+/// [`ObjectStore::cache_stats`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Reads served by the cache tier.
+    pub hits: u64,
+    /// Reads that fell through to the backing store.
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of reads served by the cache (`NaN`-free: zero reads is a
+    /// zero hit rate).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter-wise difference against an earlier snapshot (for measuring
+    /// one operation's hit rate).
+    pub fn since(&self, earlier: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits.saturating_sub(earlier.hits),
+            misses: self.misses.saturating_sub(earlier.misses),
+        }
+    }
+}
+
+/// Slices `[offset, offset + len)` out of `data`, erroring (never
+/// clamping) on out-of-range requests — the shared bounds contract of
+/// every ranged-read implementation in this crate.
+pub(crate) fn checked_range(data: &Bytes, key: &str, offset: u64, len: u64) -> Result<Bytes> {
+    let end = offset
+        .checked_add(len)
+        .ok_or_else(|| StorageError::OutOfRange(format!("{key}: {offset}+{len} overflows")))?;
+    if end > data.len() as u64 {
+        return Err(StorageError::OutOfRange(format!(
+            "{key}: [{offset}, {end}) of {}-byte object",
+            data.len()
+        )));
+    }
+    Ok(data.slice(offset as usize..end as usize))
+}
+
 /// A blob store for checkpoint chunks and manifests.
 ///
 /// All methods are `&self`: stores are shared across the background writer
@@ -124,6 +192,66 @@ pub trait ObjectStore: Send + Sync {
 
     /// Sum of logical object sizes currently held (capacity accounting).
     fn total_bytes(&self) -> u64;
+
+    // --- Ranged reads (the restore path's contract). --------------------
+    //
+    // The default implementations are stateless: `get_range` fetches the
+    // whole object and slices it, `get_part` adds a zero-cost receipt.
+    // Backends with transfer semantics (bandwidth simulation, real ranged
+    // GETs) should override `get_part` so restore timing is meaningful.
+
+    /// Reads bytes `[offset, offset + len)` of the object at `key`.
+    /// Requesting past the object's end is an error
+    /// ([`StorageError::OutOfRange`]), never a short read — ranges come from
+    /// checkpoint manifests, so a mismatch means corruption.
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Bytes> {
+        let data = self.get(key)?;
+        checked_range(&data, key, offset, len)
+    }
+
+    /// [`ObjectStore::get_range`] with download scheduling: the transfer
+    /// runs over download channel `channel` and may not start before the
+    /// *simulated* time `not_before` (fetch schedulers use it to enforce a
+    /// bounded in-flight window, mirroring [`ObjectStore::put_part`]).
+    /// Local instantaneous backends ignore both and return a zero-cost
+    /// receipt.
+    fn get_part(
+        &self,
+        key: &str,
+        offset: u64,
+        len: u64,
+        channel: u32,
+        not_before: Duration,
+    ) -> Result<(Bytes, GetReceipt)> {
+        let _ = channel;
+        let data = self.get_range(key, offset, len)?;
+        let bytes = data.len() as u64;
+        Ok((
+            data,
+            GetReceipt {
+                bytes,
+                transfer_time: Duration::ZERO,
+                completed_at: not_before,
+            },
+        ))
+    }
+
+    /// Hit/miss counters of this store's cache tier, when it has one
+    /// (`None` for single-tier backends). Restore paths sample this before
+    /// and after a recovery to report the cache hit rate.
+    fn cache_stats(&self) -> Option<CacheStats> {
+        None
+    }
+
+    /// Offers a fully reassembled object back to any caching tier: a
+    /// reader that reconstructed `key` from multiple ranged reads calls
+    /// this so later reads can hit the cache (a partial range alone can
+    /// never safely populate it). Advisory — single-tier backends ignore
+    /// it, and caching tiers must verify `data` matches the stored
+    /// object's size before retaining it.
+    fn offer_cached(&self, key: &str, data: Bytes) {
+        let _ = (key, data);
+    }
 
     // --- Multipart protocol (see [`multipart`]). ------------------------
     //
@@ -240,7 +368,54 @@ mod trait_tests {
         store.put("empty", Bytes::new()).unwrap();
         assert_eq!(store.get("empty").unwrap().len(), 0);
 
+        ranged_read_conformance(store);
         multipart_conformance(store);
+    }
+
+    pub(crate) fn ranged_read_conformance(store: &dyn ObjectStore) {
+        store
+            .put("ranged/obj", Bytes::from_static(b"0123456789"))
+            .unwrap();
+
+        // Interior, prefix, suffix, whole, and empty ranges.
+        assert_eq!(
+            store.get_range("ranged/obj", 2, 5).unwrap(),
+            Bytes::from_static(b"23456")
+        );
+        assert_eq!(
+            store.get_range("ranged/obj", 0, 10).unwrap(),
+            Bytes::from_static(b"0123456789")
+        );
+        assert_eq!(
+            store.get_range("ranged/obj", 7, 3).unwrap(),
+            Bytes::from_static(b"789")
+        );
+        assert_eq!(store.get_range("ranged/obj", 10, 0).unwrap().len(), 0);
+
+        // Past-the-end and overflowing ranges are errors, not short reads.
+        assert!(matches!(
+            store.get_range("ranged/obj", 8, 3),
+            Err(StorageError::OutOfRange(_))
+        ));
+        assert!(matches!(
+            store.get_range("ranged/obj", u64::MAX, 2),
+            Err(StorageError::OutOfRange(_))
+        ));
+        assert!(matches!(
+            store.get_range("ranged/missing", 0, 1),
+            Err(StorageError::NotFound(_))
+        ));
+
+        // get_part returns the same bytes plus a receipt that respects
+        // `not_before`.
+        let (data, receipt) = store
+            .get_part("ranged/obj", 3, 4, 0, Duration::from_secs(5))
+            .unwrap();
+        assert_eq!(data, Bytes::from_static(b"3456"));
+        assert_eq!(receipt.bytes, 4);
+        assert!(receipt.completed_at >= Duration::from_secs(5));
+
+        store.delete("ranged/obj").unwrap();
     }
 
     pub(crate) fn multipart_conformance(store: &dyn ObjectStore) {

@@ -143,15 +143,35 @@ impl SimulatedRemoteStore {
         t
     }
 
-    /// Transfer time for `bytes` logical bytes over one channel.
+    /// Transfer time for writing `bytes` logical bytes over one channel.
     pub fn transfer_time(&self, bytes: u64) -> Duration {
         let physical = bytes.saturating_mul(self.config.replication as u64);
         self.config.base_latency
             + Duration::from_secs_f64(physical as f64 / self.config.bandwidth_bytes_per_sec)
     }
 
-    /// Reserves channel `channel % channels` for `bytes` starting no
-    /// earlier than `not_before`, returning (transfer_time, completed_at).
+    /// Transfer time for *reading* `bytes` logical bytes over one channel.
+    /// Reads fetch a single replica, so unlike [`Self::transfer_time`]
+    /// there is no replication amplification.
+    pub fn read_transfer_time(&self, bytes: u64) -> Duration {
+        self.config.base_latency
+            + Duration::from_secs_f64(bytes as f64 / self.config.bandwidth_bytes_per_sec)
+    }
+
+    /// Reserves channel `channel % channels` for a transfer of duration
+    /// `transfer` starting no earlier than `not_before`, returning the
+    /// completion time.
+    fn reserve_for(&self, channel: u32, transfer: Duration, not_before: Duration) -> Duration {
+        let mut free_at = self.channel_free_at.lock();
+        let slot = (channel as usize) % free_at.len();
+        let start = free_at[slot].max(self.clock.now()).max(not_before);
+        let end = start + transfer;
+        free_at[slot] = end;
+        end
+    }
+
+    /// Reserves channel `channel % channels` for writing `bytes` starting
+    /// no earlier than `not_before`, returning (transfer_time, completed_at).
     fn reserve(
         &self,
         channel: u32,
@@ -159,11 +179,7 @@ impl SimulatedRemoteStore {
         not_before: Duration,
     ) -> (Duration, Duration) {
         let transfer = self.transfer_time(bytes);
-        let mut free_at = self.channel_free_at.lock();
-        let slot = (channel as usize) % free_at.len();
-        let start = free_at[slot].max(self.clock.now()).max(not_before);
-        let end = start + transfer;
-        free_at[slot] = end;
+        let end = self.reserve_for(channel, transfer, not_before);
         (transfer, end)
     }
 
@@ -233,6 +249,43 @@ impl ObjectStore for SimulatedRemoteStore {
 
     fn total_bytes(&self) -> u64 {
         self.inner.total_bytes()
+    }
+
+    // --- Native ranged reads: per-part download bandwidth accounting. ----
+    //
+    // Each ranged read occupies its download channel for
+    // `base_latency + len / bandwidth` (one replica — no replication
+    // amplification on reads), so a sharded restore's fetch time scales
+    // down with the number of reader hosts exactly as the write path's
+    // durability scales with writer hosts.
+
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Bytes> {
+        let data = crate::checked_range(&self.inner.get(key)?, key, offset, len)?;
+        self.metrics.record_get(data.len() as u64);
+        Ok(data)
+    }
+
+    fn get_part(
+        &self,
+        key: &str,
+        offset: u64,
+        len: u64,
+        channel: u32,
+        not_before: Duration,
+    ) -> Result<(Bytes, crate::GetReceipt)> {
+        let data = crate::checked_range(&self.inner.get(key)?, key, offset, len)?;
+        let bytes = data.len() as u64;
+        let transfer = self.read_transfer_time(bytes);
+        let completed_at = self.reserve_for(channel, transfer, not_before);
+        self.metrics.record_get(bytes);
+        Ok((
+            data,
+            crate::GetReceipt {
+                bytes,
+                transfer_time: transfer,
+                completed_at,
+            },
+        ))
     }
 
     // --- Native multipart: in-memory part buffers, per-part bandwidth. ---
@@ -491,6 +544,68 @@ mod tests {
         let c = store.begin_multipart("c").unwrap().on_channel(1);
         let rc = store.put_part(&c, 0, mb(100), Duration::ZERO).unwrap();
         assert!((rc.completed_at.as_secs_f64() - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ranged_reads_charge_one_replica_on_the_channel() {
+        // Replication 3 amplifies writes but not reads.
+        let (store, _clock) = store_with(100.0, 0, 3);
+        store.put("obj", mb(100)).unwrap(); // write busy until 3s
+        let (data, r) = store
+            .get_part("obj", 0, 100 * 1024 * 1024, 0, Duration::ZERO)
+            .unwrap();
+        assert_eq!(data.len(), 100 * 1024 * 1024);
+        assert!((r.transfer_time.as_secs_f64() - 1.0).abs() < 1e-6, "one replica");
+        // The read queues behind the write on the shared channel: 3s + 1s.
+        assert!((r.completed_at.as_secs_f64() - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn parallel_read_channels_overlap_fetches() {
+        let clock = SimClock::new();
+        let store = SimulatedRemoteStore::new(
+            RemoteConfig {
+                bandwidth_bytes_per_sec: 100.0 * 1024.0 * 1024.0,
+                base_latency: Duration::ZERO,
+                replication: 1,
+                channels: 4,
+            },
+            clock,
+        );
+        store.put("obj", mb(400)).unwrap(); // lands on one channel
+        let free = store.drained_at();
+        // Four 100 MB ranged reads on four distinct channels all complete
+        // one second after the slowest channel frees.
+        for c in 0..4u32 {
+            let (_, r) = store
+                .get_part("obj", c as u64 * 100 * 1024 * 1024, 100 * 1024 * 1024, c, Duration::ZERO)
+                .unwrap();
+            assert!(r.completed_at <= free + Duration::from_secs(1) + Duration::from_micros(1));
+        }
+    }
+
+    #[test]
+    fn ranged_read_respects_not_before() {
+        let (store, _clock) = store_with(100.0, 0, 1);
+        store.put("obj", mb(100)).unwrap(); // busy until 1s
+        let (_, r) = store
+            .get_part("obj", 0, 1024, 0, Duration::from_secs(10))
+            .unwrap();
+        assert!(r.completed_at >= Duration::from_secs(10));
+    }
+
+    #[test]
+    fn out_of_range_read_is_an_error() {
+        let (store, _clock) = store_with(100.0, 0, 1);
+        store.put("obj", Bytes::from_static(b"abc")).unwrap();
+        assert!(matches!(
+            store.get_range("obj", 2, 2),
+            Err(StorageError::OutOfRange(_))
+        ));
+        assert!(matches!(
+            store.get_part("obj", 0, 4, 0, Duration::ZERO),
+            Err(StorageError::OutOfRange(_))
+        ));
     }
 
     #[test]

@@ -12,9 +12,15 @@
 //!   controller cares about.
 //! * `get` serves from the cache when it can, falling back to the remote
 //!   and re-populating the cache on a miss.
-//! * the cache is bounded: oldest-inserted objects are evicted once
-//!   `cache_capacity` logical bytes are exceeded (checkpoint traffic is
-//!   sequential, so FIFO ≈ LRU here).
+//! * the cache is bounded and size-aware: victims are evicted once
+//!   `cache_capacity` logical bytes are exceeded, in insertion order
+//!   ([`EvictionPolicy::Fifo`], the default — checkpoint write traffic is
+//!   sequential) or least-recently-*read* order ([`EvictionPolicy::Lru`],
+//!   the better fit for restore traffic that re-reads a working set).
+//! * ranged reads ([`ObjectStore::get_range`] / [`ObjectStore::get_part`])
+//!   are served by slicing a cached object locally; a miss falls through to
+//!   the remote's ranged read (paying its channel), and re-populates the
+//!   cache when the range covered the whole object.
 //! * multipart uploads go straight to the remote — parts are transient and
 //!   a checkpoint chunk is only read back on restore, when `get` caches it.
 //!
@@ -22,12 +28,25 @@
 //! invisible accelerator, never the source of truth.
 
 use crate::multipart::{MultipartUpload, PartReceipt};
-use crate::{ObjectMeta, ObjectStore, PutReceipt, Result, StorageError};
+use crate::{CacheStats, GetReceipt, ObjectMeta, ObjectStore, PutReceipt, Result, StorageError};
 use bytes::Bytes;
 use parking_lot::Mutex;
 use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
+
+/// How [`TieredStore`] picks eviction victims once the cache budget is
+/// exceeded. Eviction is size-aware under either policy: victims are
+/// evicted until the resident bytes fit the budget again.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Evict in insertion order.
+    #[default]
+    Fifo,
+    /// Evict the least-recently-read object: every cache hit refreshes the
+    /// object's position in the eviction queue.
+    Lru,
+}
 
 /// A local cache tier in front of a remote backend.
 pub struct TieredStore<C, R> {
@@ -35,7 +54,8 @@ pub struct TieredStore<C, R> {
     remote: R,
     /// Cache budget in logical bytes.
     cache_capacity: u64,
-    /// Cached keys in insertion order (eviction queue).
+    policy: EvictionPolicy,
+    /// Cached keys in eviction order (front = next victim).
     resident: Mutex<VecDeque<String>>,
     hits: AtomicU64,
     misses: AtomicU64,
@@ -43,13 +63,24 @@ pub struct TieredStore<C, R> {
 
 impl<C: ObjectStore, R: ObjectStore> TieredStore<C, R> {
     /// Composes `cache` (fast, bounded to `cache_capacity` logical bytes)
-    /// in front of `remote` (durable, source of truth).
+    /// in front of `remote` (durable, source of truth) with FIFO eviction.
     pub fn new(cache: C, remote: R, cache_capacity: u64) -> Self {
+        Self::with_policy(cache, remote, cache_capacity, EvictionPolicy::Fifo)
+    }
+
+    /// [`TieredStore::new`] with an explicit eviction policy.
+    pub fn with_policy(
+        cache: C,
+        remote: R,
+        cache_capacity: u64,
+        policy: EvictionPolicy,
+    ) -> Self {
         assert!(cache_capacity > 0, "cache capacity must be positive");
         Self {
             cache,
             remote,
             cache_capacity,
+            policy,
             resident: Mutex::new(VecDeque::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
@@ -74,6 +105,36 @@ impl<C: ObjectStore, R: ObjectStore> TieredStore<C, R> {
     /// Cache misses (reads that fell through to the remote).
     pub fn cache_misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Fraction of reads served by the cache so far.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.stats().hit_rate()
+    }
+
+    /// The eviction policy in use.
+    pub fn eviction_policy(&self) -> EvictionPolicy {
+        self.policy
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Records a cache hit, refreshing the key's eviction position under
+    /// LRU.
+    fn on_hit(&self, key: &str) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+        if self.policy == EvictionPolicy::Lru {
+            let mut resident = self.resident.lock();
+            if let Some(pos) = resident.iter().position(|k| k == key) {
+                let k = resident.remove(pos).expect("position is valid");
+                resident.push_back(k);
+            }
+        }
     }
 
     /// Inserts `data` into the cache under `key`, evicting oldest entries
@@ -119,7 +180,7 @@ impl<C: ObjectStore, R: ObjectStore> ObjectStore for TieredStore<C, R> {
     fn get(&self, key: &str) -> Result<Bytes> {
         match self.cache.get(key) {
             Ok(data) => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.on_hit(key);
                 Ok(data)
             }
             Err(StorageError::NotFound(_)) => {
@@ -129,6 +190,77 @@ impl<C: ObjectStore, R: ObjectStore> ObjectStore for TieredStore<C, R> {
                 Ok(data)
             }
             Err(e) => Err(e),
+        }
+    }
+
+    // Ranged reads are served by slicing the cached whole object; a miss
+    // falls through to the remote's ranged read (which pays the remote
+    // channel) and caches the object when the range covered all of it.
+
+    fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Bytes> {
+        match self.cache.get(key) {
+            Ok(data) => {
+                self.on_hit(key);
+                crate::checked_range(&data, key, offset, len)
+            }
+            Err(StorageError::NotFound(_)) => {
+                let data = self.remote.get_range(key, offset, len)?;
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                if offset == 0 && data.len() as u64 == self.remote.head(key)?.size {
+                    self.cache_insert(key, data.clone());
+                }
+                Ok(data)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn get_part(
+        &self,
+        key: &str,
+        offset: u64,
+        len: u64,
+        channel: u32,
+        not_before: Duration,
+    ) -> Result<(Bytes, GetReceipt)> {
+        match self.cache.get(key) {
+            Ok(data) => {
+                self.on_hit(key);
+                let data = crate::checked_range(&data, key, offset, len)?;
+                let bytes = data.len() as u64;
+                // A local NVMe read: instantaneous in simulated time, no
+                // remote channel occupied.
+                Ok((
+                    data,
+                    GetReceipt {
+                        bytes,
+                        transfer_time: Duration::ZERO,
+                        completed_at: not_before,
+                    },
+                ))
+            }
+            Err(StorageError::NotFound(_)) => {
+                let (data, receipt) = self.remote.get_part(key, offset, len, channel, not_before)?;
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                if offset == 0 && data.len() as u64 == self.remote.head(key)?.size {
+                    self.cache_insert(key, data.clone());
+                }
+                Ok((data, receipt))
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    fn cache_stats(&self) -> Option<CacheStats> {
+        Some(self.stats())
+    }
+
+    fn offer_cached(&self, key: &str, data: Bytes) {
+        // A reader reassembled the object from ranged reads (multi-part
+        // chunks can never populate via the miss path). Verify the payload
+        // matches the remote's view of the object before retaining it.
+        if matches!(self.remote.head(key), Ok(meta) if meta.size == data.len() as u64) {
+            self.cache_insert(key, data);
         }
     }
 
@@ -279,6 +411,98 @@ mod tests {
         assert_eq!(store.get("a").unwrap().len(), 1024 * 1024);
         assert_eq!(store.cache_hits(), 1);
         assert_eq!(store.remote().metrics().snapshot().gets, 0);
+    }
+
+    #[test]
+    fn lru_eviction_keeps_recently_read_objects() {
+        // Budget of 12 bytes holds three 4-byte objects.
+        let store = TieredStore::with_policy(
+            InMemoryStore::new(),
+            InMemoryStore::new(),
+            12,
+            EvictionPolicy::Lru,
+        );
+        for k in ["a", "b", "c"] {
+            store.put(k, Bytes::from(vec![0u8; 4])).unwrap();
+        }
+        // Touch "a": it becomes most-recently-read, so inserting "d" must
+        // evict "b" (the LRU victim), not "a".
+        store.get("a").unwrap();
+        store.put("d", Bytes::from(vec![0u8; 4])).unwrap();
+        assert!(store.cache().get("a").is_ok(), "recently read survives");
+        assert!(store.cache().get("b").is_err(), "LRU victim evicted");
+        assert!(store.cache().get("c").is_ok());
+        assert!(store.cache().get("d").is_ok());
+
+        // Under FIFO the same sequence evicts "a" (oldest inserted).
+        let fifo = tiered(12);
+        for k in ["a", "b", "c"] {
+            fifo.put(k, Bytes::from(vec![0u8; 4])).unwrap();
+        }
+        fifo.get("a").unwrap();
+        fifo.put("d", Bytes::from(vec![0u8; 4])).unwrap();
+        assert!(fifo.cache().get("a").is_err(), "FIFO ignores recency");
+        assert_eq!(fifo.eviction_policy(), EvictionPolicy::Fifo);
+    }
+
+    #[test]
+    fn hit_rate_and_cache_stats_accessors() {
+        let store = tiered(1024);
+        store.put("a", Bytes::from_static(b"xy")).unwrap();
+        store.get("a").unwrap(); // hit (write-through cached it)
+        store.cache_forget("a");
+        store.get("a").unwrap(); // miss
+        store.get("a").unwrap(); // hit (re-populated)
+        let stats = store.cache_stats().unwrap();
+        assert_eq!(stats, CacheStats { hits: 2, misses: 1 });
+        assert!((store.cache_hit_rate() - 2.0 / 3.0).abs() < 1e-9);
+        assert_eq!(stats.since(CacheStats { hits: 1, misses: 1 }).hits, 1);
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn ranged_reads_hit_the_cache_without_touching_the_remote() {
+        let clock = SimClock::new();
+        let remote = SimulatedRemoteStore::new(RemoteConfig::default(), clock);
+        let store = TieredStore::new(InMemoryStore::new(), remote, 1 << 20);
+        store.put("obj", Bytes::from_static(b"0123456789")).unwrap();
+        // Cached by write-through: the ranged read is a local slice.
+        assert_eq!(
+            store.get_range("obj", 2, 3).unwrap(),
+            Bytes::from_static(b"234")
+        );
+        let (data, receipt) = store
+            .get_part("obj", 5, 4, 0, Duration::from_secs(3))
+            .unwrap();
+        assert_eq!(data, Bytes::from_static(b"5678"));
+        assert_eq!(receipt.transfer_time, Duration::ZERO, "local NVMe read");
+        assert_eq!(receipt.completed_at, Duration::from_secs(3));
+        assert_eq!(store.cache_hits(), 2);
+        assert_eq!(store.remote().metrics().snapshot().gets, 0);
+    }
+
+    #[test]
+    fn whole_object_ranged_miss_repopulates_the_cache() {
+        let clock = SimClock::new();
+        let remote = SimulatedRemoteStore::new(RemoteConfig::default(), clock);
+        let store = TieredStore::new(InMemoryStore::new(), remote, 1 << 20);
+        // Multipart write: durable on the remote, not yet cached.
+        let up = store.begin_multipart("chunk").unwrap();
+        store
+            .put_part(&up, 0, Bytes::from_static(b"abcdef"), Duration::ZERO)
+            .unwrap();
+        store.complete_multipart(&up).unwrap();
+        // A partial range miss does not populate (a cached prefix would be
+        // indistinguishable from the whole object)...
+        let (_, _) = store.get_part("chunk", 1, 2, 0, Duration::ZERO).unwrap();
+        assert!(store.cache().get("chunk").is_err());
+        // ...but a whole-object range does, so the next read is a hit.
+        let (data, _) = store.get_part("chunk", 0, 6, 0, Duration::ZERO).unwrap();
+        assert_eq!(data, Bytes::from_static(b"abcdef"));
+        assert!(store.cache().get("chunk").is_ok());
+        let before = store.cache_hits();
+        store.get_part("chunk", 0, 6, 0, Duration::ZERO).unwrap();
+        assert_eq!(store.cache_hits(), before + 1);
     }
 
     #[test]

@@ -53,14 +53,16 @@ pub use cnr_workload as workload;
 pub mod prelude {
     pub use cnr_cluster::clock::SimClock;
     pub use cnr_cluster::failure::{FailureModel, HostKill};
+    pub use cnr_cluster::recovery::{RecoveryCoordinator, ResumeBreakdown};
     pub use cnr_core::config::{CheckpointConfig, PolicyKind, QuantMode};
     pub use cnr_core::engine::{Engine, EngineBuilder};
+    pub use cnr_core::read::{FetchScheduler, FetchStatus, RestoreOptions, ShardedRestore};
     pub use cnr_core::write::{CheckpointWriter, UploadScheduler, UploadStatus};
     pub use cnr_model::config::ModelConfig;
     pub use cnr_quant::QuantScheme;
     pub use cnr_storage::{
-        FlakyStore, InMemoryStore, MultipartUpload, ObjectStore, RemoteConfig,
-        SimulatedRemoteStore, TieredStore,
+        EvictionPolicy, FailureMode, FlakyStore, InMemoryStore, MultipartUpload, ObjectStore,
+        RemoteConfig, SimulatedRemoteStore, TieredStore,
     };
     pub use cnr_workload::{DatasetSpec, SyntheticDataset, TableAccessSpec};
 }
