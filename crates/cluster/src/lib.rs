@@ -25,9 +25,11 @@ pub mod growth;
 pub mod job;
 pub mod recovery;
 pub mod scheduler;
+pub mod scrub;
 
 pub use clock::SimClock;
 pub use failure::{FailureModel, HostKill, TtfSample};
 pub use job::{JobId, JobPriority, TrainingJob};
 pub use recovery::{RecoveryAccounting, RecoveryCoordinator, RecoveryEvent, ResumeBreakdown};
 pub use scheduler::{ClusterFleet, JobOutcome, Scheduler};
+pub use scrub::{ScrubFindings, ScrubScheduler, ScrubSweep};

@@ -68,6 +68,12 @@ pub struct ResumeBreakdown {
     /// Chunks re-sharded onto surviving hosts after a reader host died
     /// mid-restore (zero in the failure-free case).
     pub rescheduled_chunks: u64,
+    /// Envelope verification failures detected while fetching (each failed
+    /// verification counts, including repeat failures of one chunk).
+    pub corruption_detected: u64,
+    /// Chunks that failed verification and were then served clean by a
+    /// re-fetch from another replica.
+    pub corruption_repaired: u64,
     /// Cache-tier hit rate of the restore's reads, when the store has a
     /// cache tier ([`TieredStore`](../../cnr_storage/struct.TieredStore.html)).
     pub cache_hit_rate: Option<f64>,
@@ -313,6 +319,8 @@ mod tests {
             bytes_fetched: 1 << 20,
             chunks_fetched: 16,
             rescheduled_chunks: 0,
+            corruption_detected: 0,
+            corruption_repaired: 0,
             cache_hit_rate: None,
         }
     }

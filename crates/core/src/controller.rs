@@ -149,6 +149,15 @@ impl CheckpointController {
         self.checkpoints.values().map(|r| r.bytes).sum()
     }
 
+    /// Every object key owned by a live checkpoint (chunks + manifests) —
+    /// the work-list of a background scrub sweep.
+    pub fn live_keys(&self) -> Vec<String> {
+        self.checkpoints
+            .values()
+            .flat_map(|r| r.keys.iter().cloned())
+            .collect()
+    }
+
     /// The restore chain of `id` (oldest first), from the registry.
     pub fn chain_of(&self, id: CheckpointId) -> Result<Vec<CheckpointId>> {
         let mut chain = vec![id];
@@ -263,7 +272,9 @@ mod tests {
             payload_bytes: chunk_bytes as u64,
         };
         let key = Manifest::key("job", cid);
-        store.put(&key, Bytes::from(manifest.encode())).unwrap();
+        store
+            .put(&key, Bytes::from(manifest.encode_enveloped()))
+            .unwrap();
         (manifest, key)
     }
 

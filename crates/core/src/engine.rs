@@ -26,13 +26,15 @@ use crate::policy::PolicyEngine;
 use crate::read;
 use crate::restore::RestoreReport;
 use crate::snapshot::SnapshotTaker;
-use crate::stats::{IntervalStats, ResumeStats, RunStats};
+use crate::stats::{IntervalStats, ResumeStats, RunStats, ScrubStats};
 use crate::write::{CheckpointRecord, CheckpointWriter};
-use cnr_cluster::{FailureModel, HostKill, RecoveryCoordinator, SimClock};
+use cnr_cluster::{
+    FailureModel, HostKill, RecoveryCoordinator, ScrubFindings, ScrubScheduler, SimClock,
+};
 use cnr_model::{DlrmModel, ModelConfig, ShardPlan};
 use cnr_quant::QuantScheme;
 use cnr_reader::{ReaderConfig, ReaderMaster};
-use cnr_storage::{ObjectStore, RemoteConfig, SimulatedRemoteStore};
+use cnr_storage::{ObjectStore, RemoteConfig, Scrubber, SimulatedRemoteStore};
 use cnr_trainer::{evaluate, EvalReport, Trainer, TrainerConfig};
 use cnr_workload::{DatasetSpec, SyntheticDataset};
 use rand::rngs::StdRng;
@@ -52,6 +54,7 @@ pub struct EngineBuilder {
     nodes: u32,
     gpus_per_node: u32,
     restore_failures: FailureModel,
+    scrub_interval: Option<Duration>,
 }
 
 impl EngineBuilder {
@@ -68,6 +71,7 @@ impl EngineBuilder {
             nodes: 1,
             gpus_per_node: 8,
             restore_failures: FailureModel::None,
+            scrub_interval: None,
         }
     }
 
@@ -155,6 +159,16 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables background scrubbing: whenever a checkpoint interval
+    /// boundary finds a sweep due (every `interval` of simulated time),
+    /// the engine walks every live checkpoint object, verifies its
+    /// envelope, and heals what it can ([`Engine::scrub_now`] runs one
+    /// sweep on demand, optionally against a replica). Off by default.
+    pub fn scrub_every(mut self, interval: Duration) -> Self {
+        self.scrub_interval = Some(interval);
+        self
+    }
+
     /// Builds the engine.
     pub fn build(self) -> Result<Engine> {
         self.ckpt.validate().map_err(CnrError::Config)?;
@@ -205,6 +219,7 @@ impl EngineBuilder {
             recovery: RecoveryCoordinator::new(self.restore_failures),
             recovery_rng: StdRng::seed_from_u64(0x5EED_4EC0),
             last_chunk_count: 0,
+            scrub_schedule: self.scrub_interval.map(ScrubScheduler::new),
         })
     }
 }
@@ -256,6 +271,8 @@ pub struct Engine {
     /// Chunks in the most recent checkpoint's manifest (the kill sampler's
     /// chunks-per-host estimate).
     last_chunk_count: u32,
+    /// Background-scrub cadence and sweep log; `None` disables scrubbing.
+    scrub_schedule: Option<ScrubScheduler>,
 }
 
 impl Engine {
@@ -366,7 +383,49 @@ impl Engine {
             stall: snapshot.stall,
             quantize_cpu_time: record.quantize_cpu_time,
         });
+
+        // Background scrub: interval boundaries are where the job has spare
+        // cycles, so a due sweep piggybacks here.
+        if self
+            .scrub_schedule
+            .as_ref()
+            .is_some_and(|s| s.due(self.clock.now()))
+        {
+            self.scrub_now(None)?;
+        }
         Ok(record)
+    }
+
+    /// Runs one background scrub sweep over every live checkpoint object:
+    /// verifies each envelope, upgrades legacy (pre-envelope) objects in
+    /// place, and heals damaged objects — by re-reading the primary (a
+    /// different replica serves the retry) and, when `replica` is given,
+    /// from that replica store. Findings are recorded into the run stats
+    /// and, when scrubbing is scheduled ([`EngineBuilder::scrub_every`]),
+    /// into the sweep log.
+    pub fn scrub_now(&mut self, replica: Option<&dyn ObjectStore>) -> Result<ScrubFindings> {
+        let keys = self.controller.live_keys();
+        let mut scrubber = Scrubber::new(self.store.as_ref());
+        if let Some(r) = replica {
+            scrubber = scrubber.with_replica(r);
+        }
+        let report = scrubber.sweep(keys.iter().map(String::as_str));
+        let findings = report.findings();
+        let now = self.clock.now();
+        if let Some(s) = &mut self.scrub_schedule {
+            s.record(now, findings);
+        }
+        self.stats.push_scrub(ScrubStats {
+            sweep: self.stats.scrubs.len() as u32,
+            at: now,
+            findings,
+        });
+        Ok(findings)
+    }
+
+    /// The background-scrub sweep log, when scrubbing is scheduled.
+    pub fn scrub_schedule(&self) -> Option<&ScrubScheduler> {
+        self.scrub_schedule.as_ref()
     }
 
     /// Simulates a failure: discards live training state and restores from
@@ -466,6 +525,8 @@ impl Engine {
             merge: breakdown.merge,
             time_to_resume: breakdown.time_to_resume(),
             bytes_fetched: breakdown.bytes_fetched,
+            corruption_detected: breakdown.corruption_detected,
+            corruption_repaired: breakdown.corruption_repaired,
             cache_hit_rate: breakdown.cache_hit_rate,
         });
 
@@ -1011,6 +1072,76 @@ mod tests {
         // next boundary waits out at most what is left.
         e.train_batches(2).unwrap();
         assert!(e.upload_backlog() <= backlog);
+    }
+
+    #[test]
+    fn scrub_now_reports_clean_checkpoints() {
+        let mut e = builder().build().unwrap();
+        e.train_batches(10).unwrap();
+        let findings = e.scrub_now(None).unwrap();
+        assert!(findings.scanned > 0, "live objects were swept");
+        assert_eq!(findings.clean, findings.scanned, "fresh writes verify clean");
+        assert_eq!(findings.corrupt_detected, 0);
+        assert_eq!(findings.legacy_found, 0, "writers emit enveloped objects");
+        assert_eq!(e.stats().scrubs.len(), 1);
+        assert_eq!(e.stats().scrub_totals(), findings);
+    }
+
+    #[test]
+    fn scrub_heals_poisoned_objects_from_a_replica() {
+        use bytes::Bytes;
+        use cnr_storage::InMemoryStore;
+        let mut e = builder().build().unwrap();
+        e.train_batches(10).unwrap();
+        let hash = e.trainer().model().state_hash();
+        // Replicate every live object, then poison N chunks at rest on the
+        // primary (bit rot: the damage persists across re-reads).
+        let replica = InMemoryStore::new();
+        let keys = e.controller().live_keys();
+        for k in &keys {
+            replica.put(k, e.store().get(k).unwrap()).unwrap();
+        }
+        let poisoned: Vec<String> = keys
+            .iter()
+            .filter(|k| !k.ends_with("/manifest"))
+            .cloned()
+            .collect();
+        let n = poisoned.len() as u64;
+        assert!(n >= 3, "need several chunk objects to poison, got {n}");
+        for k in &poisoned {
+            let mut b = e.store().get(k).unwrap().to_vec();
+            let mid = b.len() / 2;
+            b[mid] ^= 0x40;
+            e.store().put(k, Bytes::from(b)).unwrap();
+        }
+        let findings = e.scrub_now(Some(&replica)).unwrap();
+        assert_eq!(findings.corrupt_detected, n, "every poisoned object found");
+        assert_eq!(findings.repaired, n, "every poisoned object healed");
+        assert_eq!(findings.unrepairable, 0);
+        assert_eq!(e.stats().scrub_totals().repaired, n, "reported in run stats");
+        // A second sweep finds nothing wrong, and the healed checkpoint
+        // still restores bit-exactly.
+        let again = e.scrub_now(Some(&replica)).unwrap();
+        assert_eq!(again.corrupt_detected, 0);
+        assert_eq!(again.clean, again.scanned);
+        e.simulate_failure_and_restore().unwrap();
+        assert_eq!(e.trainer().model().state_hash(), hash);
+    }
+
+    #[test]
+    fn scheduled_scrubs_run_at_interval_boundaries() {
+        let mut e = builder()
+            .scrub_every(Duration::from_millis(1))
+            .build()
+            .unwrap();
+        e.train_batches(20).unwrap();
+        assert!(!e.stats().scrubs.is_empty(), "sweeps came due during training");
+        let totals = e.stats().scrub_totals();
+        assert!(totals.scanned > 0);
+        assert_eq!(totals.corrupt_detected, 0, "healthy store scrubs clean");
+        let log = e.scrub_schedule().expect("scrubbing is scheduled");
+        assert_eq!(log.sweeps().len(), e.stats().scrubs.len());
+        assert_eq!(log.totals(), totals);
     }
 
     #[test]

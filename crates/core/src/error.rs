@@ -49,7 +49,12 @@ impl std::error::Error for CnrError {
 
 impl From<StorageError> for CnrError {
     fn from(e: StorageError) -> Self {
-        CnrError::Storage(e)
+        match e {
+            // A failed envelope check is checkpoint corruption, not a
+            // backend fault — callers match on `Corrupt` either way.
+            StorageError::Corrupt(m) => CnrError::Corrupt(m),
+            other => CnrError::Storage(other),
+        }
     }
 }
 

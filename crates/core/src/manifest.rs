@@ -7,10 +7,20 @@
 //! state, and the list of chunk keys with checksums. Chunks carry batches of
 //! embedding rows: indices, optional optimizer state, and quantized
 //! payloads. Everything is checksummed (see [`crate::wire`]).
+//!
+//! **Wire versions.** From wire v3 on, every *stored* object — manifest
+//! and chunk alike — is wrapped in the self-describing checksummed
+//! envelope of [`cnr_storage::envelope`] (magic `CNR3`, CRC-32 over the
+//! payload). The payload inside the envelope is the unchanged v2
+//! encoding, so migration is sniffing: [`Manifest::decode`] and
+//! [`ChunkPayload::decode`] accept both enveloped (v3) and bare legacy
+//! (v2) bytes, while the write path emits v3 only (via
+//! [`Manifest::encode_enveloped`] / [`ChunkPayload::encode_enveloped`]).
 
 use crate::error::{CnrError, Result};
 use crate::wire;
 use bytes::BufMut;
+use cnr_storage::envelope;
 use cnr_quant::{QuantScheme, QuantizedRow};
 use cnr_reader::ReaderState;
 use serde::{Deserialize, Serialize};
@@ -112,6 +122,13 @@ pub struct Manifest {
 const MAGIC: u32 = 0x434E_524D; // "CNRM"
 const VERSION: u16 = 2;
 
+/// Strips (and verifies) a v3 envelope when present; legacy bytes pass
+/// through untouched. Every decode path funnels through this, so a
+/// corrupt envelope surfaces as [`CnrError::Corrupt`] at every read site.
+fn open_envelope(data: &[u8]) -> Result<&[u8]> {
+    envelope::open(data).map_err(|e| CnrError::Corrupt(e.to_string()))
+}
+
 impl Manifest {
     /// Storage key for a manifest of checkpoint `id` under `job`.
     pub fn key(job: &str, id: CheckpointId) -> String {
@@ -171,8 +188,16 @@ impl Manifest {
         out
     }
 
-    /// Parses and verifies a serialized manifest.
-    pub fn decode(mut data: &[u8]) -> Result<Self> {
+    /// Serializes the manifest wrapped in the v3 storage envelope — the
+    /// bytes the write path actually stores.
+    pub fn encode_enveloped(&self) -> Vec<u8> {
+        envelope::wrap_with_flags(&self.encode(), envelope::FLAG_MANIFEST)
+    }
+
+    /// Parses and verifies a serialized manifest: v3 (enveloped) or bare
+    /// legacy v2 bytes.
+    pub fn decode(data: &[u8]) -> Result<Self> {
+        let mut data = open_envelope(data)?;
         let buf = &mut data;
         let magic = wire::get_u32(buf)?;
         if magic != MAGIC {
@@ -250,9 +275,10 @@ impl Manifest {
         })
     }
 
-    /// Total bytes of this checkpoint as stored (manifest + chunks).
+    /// Total bytes of this checkpoint as stored (manifest + chunks). The
+    /// manifest is stored enveloped, so the envelope header is included.
     pub fn total_bytes(&self) -> u64 {
-        self.payload_bytes + self.encode().len() as u64
+        self.payload_bytes + self.encode_enveloped().len() as u64
     }
 }
 
@@ -316,8 +342,16 @@ impl ChunkPayload {
         out
     }
 
-    /// Parses and verifies a serialized chunk.
-    pub fn decode(mut data: &[u8]) -> Result<Self> {
+    /// Serializes the chunk wrapped in the v3 storage envelope — the
+    /// bytes the write path actually stores.
+    pub fn encode_enveloped(&self) -> Vec<u8> {
+        envelope::wrap(&self.encode())
+    }
+
+    /// Parses and verifies a serialized chunk: v3 (enveloped) or bare
+    /// legacy v2 bytes.
+    pub fn decode(data: &[u8]) -> Result<Self> {
+        let mut data = open_envelope(data)?;
         let body = wire::get_framed(&mut data)?;
         let mut slice = body.as_slice();
         let b = &mut slice;
@@ -533,6 +567,45 @@ mod tests {
         let mut bad_version = bytes;
         bad_version[4] = 99;
         assert!(Manifest::decode(&bad_version).is_err());
+    }
+
+    #[test]
+    fn enveloped_manifest_roundtrips_and_detects_corruption() {
+        let m = sample_manifest();
+        let bytes = m.encode_enveloped();
+        assert!(envelope::is_enveloped(&bytes));
+        let (flags, _) = envelope::unwrap(&bytes).unwrap();
+        assert_eq!(flags, envelope::FLAG_MANIFEST);
+        assert_eq!(Manifest::decode(&bytes).unwrap(), m);
+        // Any flip past the magic is caught by the envelope itself.
+        for i in (4..bytes.len()).step_by(7) {
+            let mut corrupted = bytes.clone();
+            corrupted[i] ^= 0x40;
+            assert!(
+                matches!(Manifest::decode(&corrupted), Err(CnrError::Corrupt(_))),
+                "flip at {i} accepted"
+            );
+        }
+        // Truncations are always an error, never a short decode.
+        for keep in [0, 3, 8, 15, 16, bytes.len() / 2, bytes.len() - 1] {
+            assert!(Manifest::decode(&bytes[..keep]).is_err());
+        }
+    }
+
+    #[test]
+    fn enveloped_chunk_roundtrips_and_detects_corruption() {
+        let c = sample_chunk(true);
+        let bytes = c.encode_enveloped();
+        assert!(envelope::is_enveloped(&bytes));
+        assert_eq!(ChunkPayload::decode(&bytes).unwrap(), c);
+        for i in (4..bytes.len()).step_by(5) {
+            let mut corrupted = bytes.clone();
+            corrupted[i] ^= 0x10;
+            assert!(
+                matches!(ChunkPayload::decode(&corrupted), Err(CnrError::Corrupt(_))),
+                "flip at {i} accepted"
+            );
+        }
     }
 
     #[test]

@@ -234,7 +234,7 @@ pub fn restore_sharded_with_failures(
     let merged = merge::merge(&chain, decoded)?;
     let merge_time = merge_t0.elapsed();
 
-    let manifest_bytes: u64 = chain.iter().map(|m| m.encode().len() as u64).sum();
+    let manifest_bytes: u64 = chain.iter().map(|m| m.encode_enveloped().len() as u64).sum();
     let bytes_read = chunk_bytes + manifest_bytes;
     let shards_merged = chain.iter().map(|m| m.shards.len()).sum();
     let ready_at = fetch_sched.ready_at();
@@ -252,6 +252,8 @@ pub fn restore_sharded_with_failures(
         bytes_fetched: bytes_read,
         chunks_fetched,
         rescheduled_chunks,
+        corruption_detected: fetch_status.corruption_detected,
+        corruption_repaired: fetch_status.corruption_repaired,
         cache_hit_rate,
     };
 
@@ -693,5 +695,69 @@ mod tests {
             .state
         };
         assert_eq!(run(1), run(6), "worker count must not change output");
+    }
+
+    #[test]
+    fn restore_heals_a_corrupt_read_and_reports_it() {
+        use cnr_storage::{CorruptionKind, CorruptionSpec, FlakyStore};
+        let (model_cfg, snap) = snapshot_after(3, 8);
+        let inner = InMemoryStore::new();
+        write_to(&inner, &snap, 2);
+        let clean = restore(&inner, "job", CheckpointId(0), &model_cfg).unwrap();
+        // One chunk read comes back bit-flipped; the refetch is healthy.
+        let store = FlakyStore::corrupting_reads(
+            inner,
+            CorruptionSpec::once(CorruptionKind::BitFlip, 1),
+        )
+        .with_corrupt_key_filter("-chunk-");
+        let sharded = restore_sharded(
+            &store,
+            "job",
+            CheckpointId(0),
+            &model_cfg,
+            &RestoreOptions {
+                reader_hosts: 2,
+                fetch_retries: 2,
+                ..RestoreOptions::default()
+            },
+            Duration::ZERO,
+        )
+        .unwrap();
+        assert_eq!(sharded.report.state, clean.state, "healed restore is bit-identical");
+        assert_eq!(sharded.breakdown.corruption_detected, 1);
+        assert_eq!(sharded.breakdown.corruption_repaired, 1);
+    }
+
+    #[test]
+    fn unhealable_corruption_fails_the_restore_with_a_typed_error() {
+        use crate::error::CnrError;
+        use cnr_storage::{CorruptionKind, CorruptionSpec, FlakyStore};
+        let (model_cfg, snap) = snapshot_after(3, 8);
+        let inner = InMemoryStore::new();
+        write_to(&inner, &snap, 2);
+        // Every replica of every chunk read is damaged: no retry budget
+        // can heal it, and the restore must refuse to return garbage.
+        let store = FlakyStore::corrupting_reads(
+            inner,
+            CorruptionSpec::every(CorruptionKind::BitFlip, 1),
+        )
+        .with_corrupt_key_filter("-chunk-");
+        let err = restore_sharded(
+            &store,
+            "job",
+            CheckpointId(0),
+            &model_cfg,
+            &RestoreOptions {
+                reader_hosts: 2,
+                fetch_retries: 2,
+                ..RestoreOptions::default()
+            },
+            Duration::ZERO,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, CnrError::Corrupt(_)),
+            "typed corruption error, got {err:?}"
+        );
     }
 }

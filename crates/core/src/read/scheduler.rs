@@ -15,7 +15,7 @@
 
 use crate::error::{CnrError, Result};
 use bytes::Bytes;
-use cnr_storage::{ObjectStore, StorageError};
+use cnr_storage::{envelope, ObjectStore, StorageError};
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::sync::Mutex;
@@ -34,6 +34,12 @@ pub struct FetchStatus {
     pub backpressure_stalls: u64,
     /// Transient read failures absorbed by retries.
     pub retries_performed: u64,
+    /// Envelope verification failures on assembled chunks (each failed
+    /// verification counts, including repeat failures of one chunk).
+    pub corruption_detected: u64,
+    /// Chunks that failed verification at least once and were then served
+    /// clean by a re-fetch from another replica.
+    pub corruption_repaired: u64,
 }
 
 struct FetchState {
@@ -46,6 +52,8 @@ struct FetchState {
     parts_fetched: u64,
     backpressure_stalls: u64,
     retries_performed: u64,
+    corruption_detected: u64,
+    corruption_repaired: u64,
 }
 
 /// Schedules chunk downloads for one restore across all reader hosts.
@@ -84,6 +92,8 @@ impl<'a> FetchScheduler<'a> {
                 parts_fetched: 0,
                 backpressure_stalls: 0,
                 retries_performed: 0,
+                corruption_detected: 0,
+                corruption_repaired: 0,
             }),
             issue: (0..hosts).map(|_| Mutex::new(())).collect(),
         }
@@ -104,7 +114,55 @@ impl<'a> FetchScheduler<'a> {
     /// arrived. Transient failures (I/O timeouts) retry in place;
     /// exhausted retries and non-transient errors (missing object, bad
     /// range) propagate immediately.
+    ///
+    /// Enveloped objects are verified end-to-end after reassembly: a chunk
+    /// whose envelope fails its checksum is re-fetched whole from another
+    /// replica (the per-range retry budget also bounds whole-chunk
+    /// re-fetches), and a chunk that never verifies surfaces as
+    /// [`StorageError::Corrupt`] — corrupted bytes are never handed to the
+    /// decoder. Legacy (pre-envelope) objects pass through unverified.
     pub fn fetch_chunk(
+        &self,
+        host: u16,
+        key: &str,
+        bytes: u64,
+        parts: u32,
+    ) -> Result<(Bytes, Duration)> {
+        let mut refetches = 0u32;
+        loop {
+            let (data, arrived_at) = self.fetch_chunk_once(host, key, bytes, parts)?;
+            match self.verify(key, &data) {
+                Ok(()) => {
+                    let mut s = self.state.lock().unwrap();
+                    if refetches > 0 {
+                        s.corruption_repaired += 1;
+                    }
+                    drop(s);
+                    if parts.max(1) > 1 {
+                        // The miss path of a caching tier can only retain
+                        // whole-object ranges; hand verified multi-part
+                        // reassemblies back explicitly so warm restores hit
+                        // the cache for large chunks too.
+                        self.store.offer_cached(key, data.clone());
+                    }
+                    return Ok((data, arrived_at));
+                }
+                Err(e) if refetches < self.retries => {
+                    refetches += 1;
+                    let mut s = self.state.lock().unwrap();
+                    s.retries_performed += 1;
+                    drop(s);
+                    let _ = e; // re-fetch the whole chunk from another replica
+                }
+                Err(e) => return Err(CnrError::from(e)),
+            }
+        }
+    }
+
+    /// One assembly pass of [`FetchScheduler::fetch_chunk`]: every range
+    /// downloads under window backpressure, transient I/O failures retry
+    /// per range, and the raw (unverified) reassembly comes back.
+    fn fetch_chunk_once(
         &self,
         host: u16,
         key: &str,
@@ -148,14 +206,20 @@ impl<'a> FetchScheduler<'a> {
                 break;
             }
         }
-        let data = Bytes::from(assembled);
-        if nparts > 1 {
-            // The miss path of a caching tier can only retain whole-object
-            // ranges; hand multi-part reassemblies back explicitly so warm
-            // restores hit the cache for large chunks too.
-            self.store.offer_cached(key, data.clone());
+        Ok((Bytes::from(assembled), arrived_at))
+    }
+
+    /// Verifies an assembled object's envelope, if it has one. A short
+    /// read (in-transit truncation loses trailing bytes of an enveloped
+    /// object) and a checksum mismatch both count as detected corruption.
+    fn verify(&self, key: &str, data: &[u8]) -> std::result::Result<(), StorageError> {
+        match envelope::inspect(data) {
+            envelope::Inspection::ValidV3 { .. } | envelope::Inspection::Legacy => Ok(()),
+            envelope::Inspection::CorruptV3(why) => {
+                self.state.lock().unwrap().corruption_detected += 1;
+                Err(StorageError::Corrupt(format!("{key}: {why}")))
+            }
         }
-        Ok((data, arrived_at))
     }
 
     /// Admits the next range on `host`'s window: returns the earliest
@@ -206,6 +270,8 @@ impl<'a> FetchScheduler<'a> {
             parts_fetched: s.parts_fetched,
             backpressure_stalls: s.backpressure_stalls,
             retries_performed: s.retries_performed,
+            corruption_detected: s.corruption_detected,
+            corruption_repaired: s.corruption_repaired,
         }
     }
 }
@@ -347,5 +413,95 @@ mod tests {
         let before = store.cache_hits();
         sched.fetch_chunk(0, "chunk", 4096, 4).unwrap();
         assert_eq!(store.cache_hits(), before + 4);
+    }
+
+    #[test]
+    fn corrupt_chunk_is_healed_by_refetching_another_replica() {
+        use cnr_storage::{envelope, CorruptionKind, CorruptionSpec};
+        let inner = InMemoryStore::new();
+        let enveloped = Bytes::from(envelope::wrap(&[7u8; 300]));
+        inner.put("obj", enveloped.clone()).unwrap();
+        // The very first eligible read is bit-flipped; the refetch hits a
+        // healthy replica (the corruption counter has moved on).
+        let store = FlakyStore::corrupting_reads(
+            inner,
+            CorruptionSpec::once(CorruptionKind::BitFlip, 1),
+        );
+        let sched = FetchScheduler::new(&store, 1, 4, 2, Duration::ZERO);
+        let (data, _) = sched
+            .fetch_chunk(0, "obj", enveloped.len() as u64, 1)
+            .unwrap();
+        assert_eq!(data, enveloped, "healed fetch is bit-identical");
+        let status = sched.poll(Duration::ZERO);
+        assert_eq!(status.corruption_detected, 1);
+        assert_eq!(status.corruption_repaired, 1);
+        assert_eq!(status.retries_performed, 1);
+    }
+
+    #[test]
+    fn persistent_corruption_surfaces_as_a_typed_error() {
+        use crate::error::CnrError;
+        use cnr_storage::{envelope, CorruptionKind, CorruptionSpec};
+        let inner = InMemoryStore::new();
+        let enveloped = Bytes::from(envelope::wrap(&[9u8; 128]));
+        inner.put("obj", enveloped.clone()).unwrap();
+        // Every replica is bad: all reads come back damaged.
+        let store = FlakyStore::corrupting_reads(
+            inner,
+            CorruptionSpec::every(CorruptionKind::BitFlip, 1),
+        );
+        let sched = FetchScheduler::new(&store, 1, 4, 2, Duration::ZERO);
+        let err = sched
+            .fetch_chunk(0, "obj", enveloped.len() as u64, 1)
+            .unwrap_err();
+        assert!(
+            matches!(err, CnrError::Corrupt(_)),
+            "typed corruption error, got {err:?}"
+        );
+        let status = sched.poll(Duration::ZERO);
+        // Initial attempt + 2 refetches, all detected; nothing repaired.
+        assert_eq!(status.corruption_detected, 3);
+        assert_eq!(status.corruption_repaired, 0);
+    }
+
+    #[test]
+    fn truncated_transfer_never_passes_verification() {
+        use cnr_storage::{envelope, CorruptionKind, CorruptionSpec};
+        let inner = InMemoryStore::new();
+        let enveloped = Bytes::from(envelope::wrap(&(0u8..=255).collect::<Vec<u8>>()));
+        inner.put("obj", enveloped.clone()).unwrap();
+        let store = FlakyStore::corrupting_reads(
+            inner,
+            CorruptionSpec::once(CorruptionKind::Truncate, 1),
+        );
+        let sched = FetchScheduler::new(&store, 1, 4, 1, Duration::ZERO);
+        let (data, _) = sched
+            .fetch_chunk(0, "obj", enveloped.len() as u64, 2)
+            .unwrap();
+        assert_eq!(data, enveloped);
+        let status = sched.poll(Duration::ZERO);
+        assert!(status.corruption_detected >= 1, "short range was caught");
+        assert_eq!(status.corruption_repaired, 1);
+    }
+
+    #[test]
+    fn poisoned_reassembly_is_never_offered_to_the_cache() {
+        use cnr_storage::{envelope, CorruptionKind, CorruptionSpec, TieredStore};
+        let remote = InMemoryStore::new();
+        let enveloped = Bytes::from(envelope::wrap(&[5u8; 4096]));
+        remote.put("chunk", enveloped.clone()).unwrap();
+        let tiered = TieredStore::new(InMemoryStore::new(), remote, 1 << 20);
+        let store = FlakyStore::corrupting_reads(
+            tiered,
+            CorruptionSpec::once(CorruptionKind::BitFlip, 1),
+        );
+        let sched = FetchScheduler::new(&store, 1, 4, 2, Duration::ZERO);
+        let (data, _) = sched
+            .fetch_chunk(0, "chunk", enveloped.len() as u64, 4)
+            .unwrap();
+        assert_eq!(data, enveloped);
+        // Only the verified reassembly reached the cache tier.
+        let cached = store.inner().cache().get("chunk").unwrap();
+        assert_eq!(cached, enveloped, "cache holds clean bytes only");
     }
 }

@@ -146,9 +146,20 @@ impl ShardReader<'_> {
 
     /// Fetches, decodes, and de-quantizes one chunk.
     fn read_one(&self, host: u16, item: &FetchItem) -> Result<DecodedChunk> {
-        let (bytes, _arrived) =
-            self.scheduler
-                .fetch_chunk(host, &item.key, item.bytes, item.parts)?;
+        // Plan ranges from the stored object's actual size, not the
+        // manifest's recorded bytes: a scrub that upgraded a legacy chunk
+        // to the enveloped format in place grew it by the header, and a
+        // range plan built from the stale size would truncate the read.
+        // (A missing object falls through to the fetch's own error path.)
+        let size = self
+            .scheduler
+            .store()
+            .head(&item.key)
+            .map(|m| m.size)
+            .unwrap_or(item.bytes);
+        let (bytes, _arrived) = self
+            .scheduler
+            .fetch_chunk(host, &item.key, size, item.parts)?;
         let t0 = Instant::now();
         let payload = ChunkPayload::decode(&bytes)?;
         let values: Vec<Vec<f32>> = payload.rows.iter().map(|r| r.dequantize()).collect();
@@ -161,7 +172,7 @@ impl ShardReader<'_> {
             row_indices: payload.row_indices,
             values,
             optimizer_state: payload.optimizer_state,
-            bytes: item.bytes,
+            bytes: bytes.len() as u64,
         })
     }
 

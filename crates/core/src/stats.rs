@@ -56,9 +56,24 @@ pub struct ResumeStats {
     pub time_to_resume: Duration,
     /// Logical bytes fetched (chunks + manifests).
     pub bytes_fetched: u64,
+    /// Envelope verification failures detected while fetching.
+    pub corruption_detected: u64,
+    /// Corrupt chunks healed by re-fetching from another replica.
+    pub corruption_repaired: u64,
     /// Cache-tier hit rate of the restore's reads (`None` when the store
     /// has no cache tier).
     pub cache_hit_rate: Option<f64>,
+}
+
+/// Accounting for one background scrub sweep over the job's live objects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ScrubStats {
+    /// Sweep number (0-based).
+    pub sweep: u32,
+    /// Simulated time at which the sweep ran.
+    pub at: Duration,
+    /// What the sweep found and fixed.
+    pub findings: cnr_cluster::ScrubFindings,
 }
 
 /// Accumulated statistics of one training run.
@@ -71,6 +86,8 @@ pub struct RunStats {
     pub intervals: Vec<IntervalStats>,
     /// Per-recovery records in order.
     pub resumes: Vec<ResumeStats>,
+    /// Per-scrub-sweep records in order.
+    pub scrubs: Vec<ScrubStats>,
 }
 
 impl RunStats {
@@ -80,6 +97,7 @@ impl RunStats {
             full_reference_bytes,
             intervals: Vec::new(),
             resumes: Vec::new(),
+            scrubs: Vec::new(),
         }
     }
 
@@ -91,6 +109,27 @@ impl RunStats {
     /// Appends one recovery record.
     pub fn push_resume(&mut self, stats: ResumeStats) {
         self.resumes.push(stats);
+    }
+
+    /// Appends one scrub-sweep record.
+    pub fn push_scrub(&mut self, stats: ScrubStats) {
+        self.scrubs.push(stats);
+    }
+
+    /// Aggregate scrub findings across every recorded sweep.
+    pub fn scrub_totals(&self) -> cnr_cluster::ScrubFindings {
+        let mut total = cnr_cluster::ScrubFindings::default();
+        for s in &self.scrubs {
+            total.accumulate(s.findings);
+        }
+        total
+    }
+
+    /// Corruption events seen across all restores (detected, repaired).
+    pub fn restore_corruption_totals(&self) -> (u64, u64) {
+        self.resumes.iter().fold((0, 0), |(d, r), s| {
+            (d + s.corruption_detected, r + s.corruption_repaired)
+        })
     }
 
     /// Total time the run spent resuming from checkpoints.
@@ -218,11 +257,38 @@ mod tests {
                 merge: Duration::from_millis(500),
                 time_to_resume: Duration::from_secs(*fetch_s + 1),
                 bytes_fetched: 1 << 20,
+                corruption_detected: 2,
+                corruption_repaired: 2,
                 cache_hit_rate: Some(0.5),
             });
         }
         assert_eq!(s.resumes.len(), 2);
         assert_eq!(s.total_resume_time(), Duration::from_secs(14));
         assert_eq!(s.mean_time_to_resume(), Duration::from_secs(7));
+        assert_eq!(s.restore_corruption_totals(), (4, 4));
+    }
+
+    #[test]
+    fn scrub_stats_accumulate() {
+        use cnr_cluster::ScrubFindings;
+        let mut s = RunStats::new(1000);
+        assert_eq!(s.scrub_totals(), ScrubFindings::default());
+        for (i, corrupt) in [2u64, 1].iter().enumerate() {
+            s.push_scrub(ScrubStats {
+                sweep: i as u32,
+                at: Duration::from_secs(60 * (i as u64 + 1)),
+                findings: ScrubFindings {
+                    scanned: 10,
+                    clean: 10 - corrupt,
+                    corrupt_detected: *corrupt,
+                    repaired: *corrupt,
+                    ..ScrubFindings::default()
+                },
+            });
+        }
+        let t = s.scrub_totals();
+        assert_eq!(t.scanned, 20);
+        assert_eq!(t.corrupt_detected, 3);
+        assert_eq!(t.repaired, 3);
     }
 }

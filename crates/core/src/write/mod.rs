@@ -243,7 +243,7 @@ impl<'a> CheckpointWriter<'a> {
             payload_bytes,
         };
         let manifest_key = Manifest::key(&self.job, id);
-        let manifest_bytes = manifest.encode();
+        let manifest_bytes = manifest.encode_enveloped();
         let manifest_len = manifest_bytes.len() as u64;
         let receipt = self.store.put(&manifest_key, Bytes::from(manifest_bytes))?;
         let completed_at = receipt.completed_at.max(scheduler.durable_at());

@@ -1,0 +1,354 @@
+//! Self-describing checksummed object envelope (wire v3).
+//!
+//! Production object stores exhibit bit-rot, truncated multipart uploads,
+//! and stale replicas. The v2 wire format could only detect some of this,
+//! late: chunk payloads carried an FNV frame check *inside* the codec, so
+//! corruption surfaced (if at all) deep in dequantization, and cached or
+//! range-reassembled bytes were trusted blindly. From v3 on, every object
+//! written by the checkpoint pipeline — chunks and manifests alike — is
+//! wrapped in a 16-byte envelope that makes the object self-describing and
+//! end-to-end verifiable at every read site:
+//!
+//! ```text
+//! offset  size  field
+//! ------  ----  -----------------------------------------------
+//!      0     4  magic        b"CNR3"
+//!      4     2  version      u16 LE, = 3
+//!      6     2  flags        u16 LE (bit 0: payload is a manifest)
+//!      8     4  payload_len  u32 LE, exact length of payload
+//!     12     4  crc32        u32 LE, CRC-32 (IEEE) over bytes
+//!                            [4, 12) of the header ++ payload
+//!     16     …  payload      the v2-format object bytes
+//! ```
+//!
+//! The checksum covers the header fields as well as the payload, so a bit
+//! flip anywhere past the magic is detected — including flips that land
+//! on defined flag bits.
+//!
+//! The payload is the *unchanged* v2 encoding of the object, so migration
+//! is sniffing: readers check the first four bytes — `CNR3` means verify
+//! the envelope and decode the payload, anything else is a legacy v2
+//! object and decodes as before. Writers emit v3 only. The
+//! [`crate::scrub`] subsystem upgrades legacy objects in place.
+//!
+//! The parser is hardened against untrusted input: it never panics on
+//! short or garbage buffers, never allocates (it returns subslices), and
+//! validates `payload_len` against the actual buffer before trusting it.
+
+use crate::{Result, StorageError};
+
+/// Envelope magic: the first four bytes of every v3 object.
+pub const MAGIC: [u8; 4] = *b"CNR3";
+
+/// Envelope wire version.
+pub const VERSION: u16 = 3;
+
+/// Envelope header length in bytes.
+pub const HEADER_LEN: usize = 16;
+
+/// Flag bit: the payload is a manifest (informational; readers key off the
+/// payload's own magic, the scrubber uses it for reporting).
+pub const FLAG_MANIFEST: u16 = 1 << 0;
+
+/// All flag bits a v3 reader understands; unknown bits are corruption.
+const KNOWN_FLAGS: u16 = FLAG_MANIFEST;
+
+/// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) lookup table,
+/// built at compile time so the hot verify path is a table walk.
+const CRC_TABLE: [u32; 256] = {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+};
+
+/// CRC-32 (IEEE) of `data`.
+pub fn crc32(data: &[u8]) -> u32 {
+    crc32_feed(0xFFFF_FFFF, data) ^ 0xFFFF_FFFF
+}
+
+/// Feeds `data` into a raw (pre-finalization) CRC-32 state.
+fn crc32_feed(mut state: u32, data: &[u8]) -> u32 {
+    for &b in data {
+        state = CRC_TABLE[((state ^ b as u32) & 0xFF) as usize] ^ (state >> 8);
+    }
+    state
+}
+
+/// The envelope checksum: CRC-32 over header bytes `[4, 12)` (version,
+/// flags, payload_len) followed by the payload.
+fn envelope_crc(header_fields: &[u8], payload: &[u8]) -> u32 {
+    debug_assert_eq!(header_fields.len(), 8);
+    crc32_feed(crc32_feed(0xFFFF_FFFF, header_fields), payload) ^ 0xFFFF_FFFF
+}
+
+/// What [`inspect`] found in a buffer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inspection {
+    /// A valid v3 envelope; the payload checks out.
+    ValidV3 {
+        /// Envelope flags.
+        flags: u16,
+    },
+    /// No v3 magic: a legacy (v2-era) object. Its integrity cannot be
+    /// judged at this layer — legacy chunk/manifest codecs carry their own
+    /// frame checks.
+    Legacy,
+    /// The buffer claims to be a v3 envelope but fails validation.
+    CorruptV3(String),
+}
+
+/// Wraps `payload` in a v3 envelope with the given flags.
+pub fn wrap_with_flags(payload: &[u8], flags: u16) -> Vec<u8> {
+    assert!(
+        payload.len() <= u32::MAX as usize,
+        "envelope payload exceeds u32 length field"
+    );
+    let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&VERSION.to_le_bytes());
+    out.extend_from_slice(&flags.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let crc = envelope_crc(&out[4..12], payload);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+/// Wraps `payload` in a v3 envelope with no flags set.
+pub fn wrap(payload: &[u8]) -> Vec<u8> {
+    wrap_with_flags(payload, 0)
+}
+
+/// True if `buf` starts with the v3 envelope magic. Legacy objects cannot
+/// collide: v2 manifests start with `CNRM` and v2 chunk payloads start
+/// with a little-endian frame length.
+pub fn is_enveloped(buf: &[u8]) -> bool {
+    buf.len() >= MAGIC.len() && buf[..MAGIC.len()] == MAGIC
+}
+
+#[inline]
+fn read_u16(buf: &[u8], at: usize) -> u16 {
+    u16::from_le_bytes([buf[at], buf[at + 1]])
+}
+
+#[inline]
+fn read_u32(buf: &[u8], at: usize) -> u32 {
+    u32::from_le_bytes([buf[at], buf[at + 1], buf[at + 2], buf[at + 3]])
+}
+
+/// Validates the v3 envelope in `buf` and returns `(flags, payload)`.
+///
+/// Errors with [`StorageError::Corrupt`] if the buffer is not a
+/// well-formed, checksum-clean v3 envelope. Never panics and never
+/// allocates for the payload — the returned slice borrows from `buf`.
+pub fn unwrap(buf: &[u8]) -> Result<(u16, &[u8])> {
+    if !is_enveloped(buf) {
+        return Err(StorageError::Corrupt(
+            "missing v3 envelope magic".to_string(),
+        ));
+    }
+    if buf.len() < HEADER_LEN {
+        return Err(StorageError::Corrupt(format!(
+            "truncated envelope header: {} of {HEADER_LEN} bytes",
+            buf.len()
+        )));
+    }
+    let version = read_u16(buf, 4);
+    if version != VERSION {
+        return Err(StorageError::Corrupt(format!(
+            "unsupported envelope version {version} (expected {VERSION})"
+        )));
+    }
+    let flags = read_u16(buf, 6);
+    if flags & !KNOWN_FLAGS != 0 {
+        return Err(StorageError::Corrupt(format!(
+            "unknown envelope flags {flags:#06x}"
+        )));
+    }
+    let payload_len = read_u32(buf, 8) as usize;
+    let actual = buf.len() - HEADER_LEN;
+    if payload_len != actual {
+        return Err(StorageError::Corrupt(format!(
+            "envelope length mismatch: header says {payload_len} bytes, object carries {actual}"
+        )));
+    }
+    let payload = &buf[HEADER_LEN..];
+    let expected = read_u32(buf, 12);
+    let got = envelope_crc(&buf[4..12], payload);
+    if got != expected {
+        return Err(StorageError::Corrupt(format!(
+            "envelope checksum mismatch: stored {expected:#010x}, computed {got:#010x}"
+        )));
+    }
+    Ok((flags, payload))
+}
+
+/// Returns the object's decodable bytes: the verified payload when `buf`
+/// is a v3 envelope, or `buf` itself for legacy objects. This is the one
+/// call every read site makes before handing bytes to a codec.
+pub fn open(buf: &[u8]) -> Result<&[u8]> {
+    if is_enveloped(buf) {
+        Ok(unwrap(buf)?.1)
+    } else {
+        Ok(buf)
+    }
+}
+
+/// Classifies a stored object without unwrapping it (scrubber sweep
+/// primitive).
+pub fn inspect(buf: &[u8]) -> Inspection {
+    if !is_enveloped(buf) {
+        return Inspection::Legacy;
+    }
+    match unwrap(buf) {
+        Ok((flags, _)) => Inspection::ValidV3 { flags },
+        Err(e) => Inspection::CorruptV3(e.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // Standard IEEE CRC-32 check values.
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b"The quick brown fox jumps over the lazy dog"), 0x414F_A339);
+    }
+
+    #[test]
+    fn wrap_unwrap_roundtrip() {
+        for payload in [&b""[..], b"x", b"hello world", &[0u8; 1000][..]] {
+            let enveloped = wrap(payload);
+            assert_eq!(enveloped.len(), HEADER_LEN + payload.len());
+            assert!(is_enveloped(&enveloped));
+            let (flags, back) = unwrap(&enveloped).unwrap();
+            assert_eq!(flags, 0);
+            assert_eq!(back, payload);
+            assert_eq!(open(&enveloped).unwrap(), payload);
+        }
+    }
+
+    #[test]
+    fn flags_roundtrip_and_unknown_flags_reject() {
+        let enveloped = wrap_with_flags(b"m", FLAG_MANIFEST);
+        let (flags, _) = unwrap(&enveloped).unwrap();
+        assert_eq!(flags, FLAG_MANIFEST);
+
+        let mut bad = wrap(b"m");
+        bad[6] |= 0x80; // set an undefined flag bit
+        assert!(matches!(unwrap(&bad), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn legacy_bytes_pass_through_open() {
+        let legacy = b"CNRM....not an envelope";
+        assert!(!is_enveloped(legacy));
+        assert_eq!(open(legacy).unwrap(), legacy);
+        assert_eq!(inspect(legacy), Inspection::Legacy);
+        // Including the empty object.
+        assert_eq!(open(b"").unwrap(), b"");
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_detected() {
+        let enveloped = wrap(b"some checkpoint chunk payload");
+        for byte in 0..enveloped.len() {
+            for bit in 0..8 {
+                let mut bad = enveloped.clone();
+                bad[byte] ^= 1 << bit;
+                // A flip in the magic demotes the object to legacy (open
+                // passes it through — the inner codec's own checks must
+                // catch it); any other flip is a hard envelope error.
+                if byte < 4 {
+                    assert!(!is_enveloped(&bad) || unwrap(&bad).is_err());
+                } else {
+                    assert!(
+                        matches!(unwrap(&bad), Err(StorageError::Corrupt(_))),
+                        "flip at byte {byte} bit {bit} not detected"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_and_extension_are_detected() {
+        let enveloped = wrap(b"0123456789abcdef");
+        for keep in 4..enveloped.len() {
+            assert!(
+                matches!(unwrap(&enveloped[..keep]), Err(StorageError::Corrupt(_))),
+                "truncation to {keep} bytes not detected"
+            );
+        }
+        let mut extended = enveloped.clone();
+        extended.push(0);
+        assert!(matches!(unwrap(&extended), Err(StorageError::Corrupt(_))));
+    }
+
+    #[test]
+    fn version_skew_is_rejected() {
+        let mut future = wrap(b"payload");
+        future[4] = 4; // version 4
+        assert!(matches!(unwrap(&future), Err(StorageError::Corrupt(_))));
+    }
+
+    /// Fuzz-style hardening: the parser must never panic and never
+    /// allocate proportionally to untrusted length fields, for random
+    /// buffers and for random mutations/truncations of valid envelopes.
+    /// Seeded xorshift — deterministic, no external fuzzer.
+    #[test]
+    fn parser_survives_random_and_truncated_input() {
+        let mut state = 0x2545_F491_4F6C_DD1Du64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+
+        // Pure garbage of many lengths, magic-prefixed garbage included.
+        for round in 0..2000 {
+            let len = (next() % 96) as usize;
+            let mut buf: Vec<u8> = (0..len).map(|_| next() as u8).collect();
+            if round % 3 == 0 && buf.len() >= 4 {
+                buf[..4].copy_from_slice(&MAGIC);
+            }
+            let _ = unwrap(&buf);
+            let _ = open(&buf);
+            let _ = inspect(&buf);
+        }
+
+        // A huge claimed payload_len over a tiny buffer must not allocate.
+        let mut lying = wrap(b"tiny");
+        lying[8..12].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(unwrap(&lying), Err(StorageError::Corrupt(_))));
+
+        // Random single-byte mutations of a valid envelope: either valid
+        // (mutation missed — impossible here, but allowed by the API) or a
+        // clean error. Never a panic, never wrong payload bytes.
+        let valid = wrap(b"the payload being protected");
+        for _ in 0..2000 {
+            let mut buf = valid.clone();
+            let at = (next() % buf.len() as u64) as usize;
+            buf[at] ^= (next() % 255 + 1) as u8;
+            if let Ok((_, payload)) = unwrap(&buf) {
+                assert_eq!(payload, b"the payload being protected");
+            }
+            let keep = (next() % (buf.len() as u64 + 1)) as usize;
+            let _ = unwrap(&buf[..keep]);
+        }
+    }
+}

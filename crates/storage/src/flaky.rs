@@ -5,10 +5,22 @@
 //! declared valid only when *every* node finishes storing successfully)
 //! only matters if failures actually reach the writer pipeline, so tests
 //! wrap their store in [`FlakyStore`] to inject deterministic failures.
+//!
+//! Beyond hard errors, real stores also *lie*: they return bytes that are
+//! not the bytes that were written — bit rot on a replica, a truncated
+//! transfer that the client library papers over, or a stale replica that
+//! missed the latest overwrite. [`CorruptionSpec`] injects exactly those
+//! silent failures into the read path (whole-object and ranged reads
+//! alike), deterministically by operation count and seed, so the
+//! envelope-verification machinery (see [`crate::envelope`]) can be
+//! tested end to end. Because injection is keyed on the read *count*, a
+//! retry of the same key models fetching a different — healthy — replica.
 
 use crate::multipart::{MultipartUpload, PartReceipt};
 use crate::{ObjectMeta, ObjectStore, PutReceipt, Result, StorageError};
 use bytes::Bytes;
+use parking_lot::Mutex;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Duration;
 
@@ -25,19 +37,85 @@ pub enum FailureMode {
     Once(u64),
 }
 
+/// How injected corruption damages the returned bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CorruptionKind {
+    /// Flip one deterministically chosen bit of the returned bytes (bit
+    /// rot on the replica served by this read).
+    BitFlip,
+    /// Return a deterministically chosen strict prefix of the bytes (a
+    /// truncated transfer presented as complete).
+    Truncate,
+    /// Return the *previous* version of the object at this key — a
+    /// replica that missed the latest overwrite. Falls back to a bit flip
+    /// when the key was never overwritten.
+    StaleReplica,
+}
+
+/// Deterministic silent-corruption injection for the read path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CorruptionSpec {
+    /// What kind of damage to inject.
+    pub kind: CorruptionKind,
+    /// Which reads get damaged, by corruption-eligible read count (the
+    /// counter is independent of the error-injection counters).
+    pub mode: FailureMode,
+    /// Seed for the damage positions (bit index, truncation point), so a
+    /// given test run is exactly reproducible.
+    pub seed: u64,
+}
+
+impl CorruptionSpec {
+    /// Damages every `n`-th eligible read with `kind`, seed 0.
+    pub fn every(kind: CorruptionKind, n: u64) -> Self {
+        Self {
+            kind,
+            mode: FailureMode::Every(n),
+            seed: 0,
+        }
+    }
+
+    /// Damages exactly the `n`-th eligible read (1-based), once.
+    pub fn once(kind: CorruptionKind, n: u64) -> Self {
+        Self {
+            kind,
+            mode: FailureMode::Once(n),
+            seed: 0,
+        }
+    }
+
+    /// Same spec with an explicit seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
 /// Wraps a store, injecting deterministic put (and optionally read)
 /// failures: failures depend only on the operation count, so tests are
 /// reproducible. Writes and reads have independent modes and counters —
 /// a restore test can inject read timeouts without perturbing writes.
+/// A [`CorruptionSpec`] additionally damages read *results* silently.
 pub struct FlakyStore<S> {
     inner: S,
     mode: FailureMode,
     /// Read-side injection; `None` leaves reads healthy (the default).
     read_mode: Option<FailureMode>,
+    /// Silent read corruption; `None` returns bytes faithfully.
+    corruption: Option<CorruptionSpec>,
+    /// When set, only keys containing this substring are eligible for
+    /// corruption (target chunks or manifests selectively).
+    corrupt_key_filter: Option<String>,
+    /// Previous object version per key, recorded on overwrite — the
+    /// "stale replica" a `CorruptionKind::StaleReplica` read serves.
+    /// Only maintained while stale-replica injection is configured.
+    stale: Mutex<HashMap<String, Bytes>>,
     puts: AtomicU64,
     reads: AtomicU64,
+    corruptible_reads: AtomicU64,
     failures_injected: AtomicU64,
     read_failures_injected: AtomicU64,
+    corruptions_injected: AtomicU64,
 }
 
 impl<S: ObjectStore> FlakyStore<S> {
@@ -57,10 +135,15 @@ impl<S: ObjectStore> FlakyStore<S> {
             inner,
             mode,
             read_mode: None,
+            corruption: None,
+            corrupt_key_filter: None,
+            stale: Mutex::new(HashMap::new()),
             puts: AtomicU64::new(0),
             reads: AtomicU64::new(0),
+            corruptible_reads: AtomicU64::new(0),
             failures_injected: AtomicU64::new(0),
             read_failures_injected: AtomicU64::new(0),
+            corruptions_injected: AtomicU64::new(0),
         }
     }
 
@@ -70,9 +153,29 @@ impl<S: ObjectStore> FlakyStore<S> {
         Self::with_mode(inner, FailureMode::Every(0)).with_read_mode(mode)
     }
 
+    /// Wraps `inner` with healthy writes and hard-error-free reads that
+    /// silently corrupt according to `spec`.
+    pub fn corrupting_reads(inner: S, spec: CorruptionSpec) -> Self {
+        Self::with_mode(inner, FailureMode::Every(0)).with_corruption(spec)
+    }
+
     /// Adds a read failure mode on top of the existing write mode.
     pub fn with_read_mode(mut self, mode: FailureMode) -> Self {
         self.read_mode = Some(mode);
+        self
+    }
+
+    /// Adds silent read corruption on top of the existing modes.
+    pub fn with_corruption(mut self, spec: CorruptionSpec) -> Self {
+        self.corruption = Some(spec);
+        self
+    }
+
+    /// Restricts corruption to keys containing `substring` (e.g.
+    /// `"manifest"` or `"chunk"`). Reads of other keys neither advance the
+    /// corruption counter nor get damaged.
+    pub fn with_corrupt_key_filter(mut self, substring: impl Into<String>) -> Self {
+        self.corrupt_key_filter = Some(substring.into());
         self
     }
 
@@ -89,6 +192,11 @@ impl<S: ObjectStore> FlakyStore<S> {
     /// Number of read failures injected so far.
     pub fn read_failures_injected(&self) -> u64 {
         self.read_failures_injected.load(Ordering::Relaxed)
+    }
+
+    /// Number of silently corrupted reads served so far.
+    pub fn corruptions_injected(&self) -> u64 {
+        self.corruptions_injected.load(Ordering::Relaxed)
     }
 
     fn decide(mode: FailureMode, n: u64) -> bool {
@@ -129,22 +237,116 @@ impl<S: ObjectStore> FlakyStore<S> {
         }
         Ok(())
     }
+
+    /// Deterministic position mixer (splitmix-style): maps (seed, read
+    /// count) to the damage position for this injection.
+    fn mix(seed: u64, n: u64) -> u64 {
+        let mut z = seed ^ n.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// True while stale-replica history needs to be maintained on writes.
+    fn tracks_stale(&self) -> bool {
+        matches!(
+            self.corruption,
+            Some(CorruptionSpec {
+                kind: CorruptionKind::StaleReplica,
+                ..
+            })
+        )
+    }
+
+    /// Records the current object at `key` as the stale version a lagging
+    /// replica would still serve after the next overwrite.
+    fn remember_stale(&self, key: &str) {
+        if self.tracks_stale() {
+            if let Ok(old) = self.inner.get(key) {
+                self.stale.lock().insert(key.to_string(), old);
+            }
+        }
+    }
+
+    /// Counts one corruption-eligible read of `key` and, when the spec
+    /// fires, returns deterministically damaged bytes instead of `data`.
+    /// `offset` is the range start for ranged reads (0 for whole-object
+    /// gets) so stale-replica substitution can serve the matching slice.
+    fn maybe_corrupt(&self, key: &str, data: Bytes, offset: u64) -> Bytes {
+        let Some(spec) = self.corruption else {
+            return data;
+        };
+        if let Some(filter) = &self.corrupt_key_filter {
+            if !key.contains(filter.as_str()) {
+                return data;
+            }
+        }
+        let n = self.corruptible_reads.fetch_add(1, Ordering::Relaxed) + 1;
+        if !Self::decide(spec.mode, n) {
+            return data;
+        }
+        let pos = Self::mix(spec.seed, n);
+        let damaged = match spec.kind {
+            CorruptionKind::BitFlip => Self::bit_flipped(&data, pos),
+            CorruptionKind::Truncate => {
+                if data.is_empty() {
+                    None
+                } else {
+                    // A strict prefix: keep in [0, len).
+                    Some(data.slice(0..(pos % data.len() as u64) as usize))
+                }
+            }
+            CorruptionKind::StaleReplica => {
+                self.stale.lock().get(key).map(|old| {
+                    // Serve the requested window of the stale object,
+                    // clamped to its (possibly shorter) length.
+                    let start = (offset as usize).min(old.len());
+                    let end = (start + data.len()).min(old.len());
+                    old.slice(start..end)
+                })
+            }
+        }
+        // No way to damage this particular read (empty object, no prior
+        // version): fall back to a bit flip so the spec still injects.
+        .or_else(|| Self::bit_flipped(&data, pos));
+        match damaged {
+            Some(bytes) => {
+                self.corruptions_injected.fetch_add(1, Ordering::Relaxed);
+                bytes
+            }
+            None => data, // zero-length object: nothing to damage
+        }
+    }
+
+    /// `data` with bit `pos % (len * 8)` flipped; `None` when empty.
+    fn bit_flipped(data: &Bytes, pos: u64) -> Option<Bytes> {
+        if data.is_empty() {
+            return None;
+        }
+        let mut v = data.to_vec();
+        let bit = (pos % (v.len() as u64 * 8)) as usize;
+        v[bit / 8] ^= 1 << (bit % 8);
+        Some(Bytes::from(v))
+    }
 }
 
 impl<S: ObjectStore> ObjectStore for FlakyStore<S> {
     fn put(&self, key: &str, data: Bytes) -> Result<PutReceipt> {
         self.should_fail(key)?;
+        self.remember_stale(key);
         self.inner.put(key, data)
     }
 
     fn get(&self, key: &str) -> Result<Bytes> {
         self.should_fail_read(key)?;
-        self.inner.get(key)
+        let data = self.inner.get(key)?;
+        Ok(self.maybe_corrupt(key, data, 0))
     }
 
     fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Bytes> {
         self.should_fail_read(key)?;
-        self.inner.get_range(key, offset, len)
+        let data = self.inner.get_range(key, offset, len)?;
+        Ok(self.maybe_corrupt(key, data, offset))
     }
 
     fn get_part(
@@ -156,7 +358,8 @@ impl<S: ObjectStore> ObjectStore for FlakyStore<S> {
         not_before: Duration,
     ) -> Result<(Bytes, crate::GetReceipt)> {
         self.should_fail_read(key)?;
-        self.inner.get_part(key, offset, len, channel, not_before)
+        let (data, receipt) = self.inner.get_part(key, offset, len, channel, not_before)?;
+        Ok((self.maybe_corrupt(key, data, offset), receipt))
     }
 
     fn delete(&self, key: &str) -> Result<()> {
@@ -173,6 +376,14 @@ impl<S: ObjectStore> ObjectStore for FlakyStore<S> {
 
     fn total_bytes(&self) -> u64 {
         self.inner.total_bytes()
+    }
+
+    fn cache_stats(&self) -> Option<crate::CacheStats> {
+        self.inner.cache_stats()
+    }
+
+    fn offer_cached(&self, key: &str, data: Bytes) {
+        self.inner.offer_cached(key, data)
     }
 
     // Multipart forwards to the inner store (so native implementations keep
@@ -195,6 +406,7 @@ impl<S: ObjectStore> ObjectStore for FlakyStore<S> {
     }
 
     fn complete_multipart(&self, up: &MultipartUpload) -> Result<PutReceipt> {
+        self.remember_stale(&up.key);
         self.inner.complete_multipart(up)
     }
 
@@ -299,6 +511,127 @@ mod tests {
         assert!(store.get("a").is_err());
         assert!(store.get("a").is_err());
         assert!(store.get("a").is_ok(), "outage over");
+    }
+
+    #[test]
+    fn bit_flip_corruption_damages_exactly_the_chosen_reads() {
+        let store = FlakyStore::corrupting_reads(
+            InMemoryStore::new(),
+            CorruptionSpec::every(CorruptionKind::BitFlip, 2).with_seed(7),
+        );
+        let original = Bytes::from_static(b"checkpoint chunk bytes");
+        store.put("k", original.clone()).unwrap();
+        assert_eq!(store.get("k").unwrap(), original, "read #1 clean");
+        let damaged = store.get("k").unwrap();
+        assert_ne!(damaged, original, "read #2 corrupted");
+        assert_eq!(damaged.len(), original.len(), "bit flip preserves length");
+        assert_eq!(
+            damaged
+                .iter()
+                .zip(original.iter())
+                .filter(|(a, b)| a != b)
+                .count(),
+            1,
+            "exactly one byte differs"
+        );
+        assert_eq!(store.get("k").unwrap(), original, "read #3 clean again");
+        assert_eq!(store.corruptions_injected(), 1);
+
+        // Determinism: an identical store serves the identical damage.
+        let twin = FlakyStore::corrupting_reads(
+            InMemoryStore::new(),
+            CorruptionSpec::every(CorruptionKind::BitFlip, 2).with_seed(7),
+        );
+        twin.put("k", original.clone()).unwrap();
+        twin.get("k").unwrap();
+        assert_eq!(twin.get("k").unwrap(), damaged);
+    }
+
+    #[test]
+    fn truncate_corruption_returns_a_strict_prefix() {
+        let store = FlakyStore::corrupting_reads(
+            InMemoryStore::new(),
+            CorruptionSpec::once(CorruptionKind::Truncate, 1).with_seed(3),
+        );
+        let original = Bytes::from_static(b"0123456789");
+        store.put("k", original.clone()).unwrap();
+        let damaged = store.get("k").unwrap();
+        assert!(damaged.len() < original.len());
+        assert_eq!(&original[..damaged.len()], &damaged[..]);
+        assert_eq!(store.get("k").unwrap(), original, "only read #1 damaged");
+    }
+
+    #[test]
+    fn stale_replica_serves_the_previous_version() {
+        let store = FlakyStore::corrupting_reads(
+            InMemoryStore::new(),
+            CorruptionSpec::once(CorruptionKind::StaleReplica, 2),
+        );
+        store.put("k", Bytes::from_static(b"version-1")).unwrap();
+        store.put("k", Bytes::from_static(b"version-2!")).unwrap();
+        assert_eq!(store.get("k").unwrap(), Bytes::from_static(b"version-2!"));
+        assert_eq!(
+            store.get("k").unwrap(),
+            Bytes::from_static(b"version-1"),
+            "read #2 served by the lagging replica"
+        );
+        assert_eq!(store.get("k").unwrap(), Bytes::from_static(b"version-2!"));
+        assert_eq!(store.corruptions_injected(), 1);
+    }
+
+    #[test]
+    fn stale_replica_slices_ranged_reads_from_the_old_version() {
+        let store = FlakyStore::corrupting_reads(
+            InMemoryStore::new(),
+            CorruptionSpec::every(CorruptionKind::StaleReplica, 1),
+        );
+        store.put("k", Bytes::from_static(b"AAAABBBB")).unwrap();
+        store.put("k", Bytes::from_static(b"CCCCDDDDEEEE")).unwrap();
+        // Every read is stale: the [4, 8) window of the old version.
+        assert_eq!(store.get_range("k", 4, 4).unwrap(), Bytes::from_static(b"BBBB"));
+        // A window past the stale object's end comes back short — exactly
+        // the kind of lie envelope verification exists to catch.
+        assert!(store.get_range("k", 8, 4).unwrap().len() < 4);
+    }
+
+    #[test]
+    fn stale_replica_without_history_falls_back_to_bit_flip() {
+        let store = FlakyStore::corrupting_reads(
+            InMemoryStore::new(),
+            CorruptionSpec::every(CorruptionKind::StaleReplica, 1),
+        );
+        store.put("k", Bytes::from_static(b"only-version")).unwrap();
+        let damaged = store.get("k").unwrap();
+        assert_ne!(damaged, Bytes::from_static(b"only-version"));
+        assert_eq!(damaged.len(), b"only-version".len());
+        assert_eq!(store.corruptions_injected(), 1);
+    }
+
+    #[test]
+    fn key_filter_scopes_corruption() {
+        let store = FlakyStore::corrupting_reads(
+            InMemoryStore::new(),
+            CorruptionSpec::every(CorruptionKind::BitFlip, 1),
+        )
+        .with_corrupt_key_filter("manifest");
+        store.put("job/0/manifest", Bytes::from_static(b"mmmm")).unwrap();
+        store.put("job/0/chunk-1", Bytes::from_static(b"cccc")).unwrap();
+        assert_eq!(store.get("job/0/chunk-1").unwrap(), Bytes::from_static(b"cccc"));
+        assert_ne!(store.get("job/0/manifest").unwrap(), Bytes::from_static(b"mmmm"));
+        assert_eq!(store.corruptions_injected(), 1);
+    }
+
+    #[test]
+    fn ranged_reads_share_the_corruption_counter() {
+        let store = FlakyStore::corrupting_reads(
+            InMemoryStore::new(),
+            CorruptionSpec::every(CorruptionKind::BitFlip, 2),
+        );
+        store.put("k", Bytes::from_static(b"0123456789")).unwrap();
+        assert_eq!(store.get_range("k", 0, 4).unwrap(), Bytes::from_static(b"0123"));
+        let (damaged, _) = store.get_part("k", 4, 4, 0, Duration::ZERO).unwrap();
+        assert_ne!(damaged, Bytes::from_static(b"4567"), "read #2 corrupted");
+        assert_eq!(damaged.len(), 4, "per-range flip stays inside the range");
     }
 
     #[test]

@@ -18,20 +18,23 @@
 //! * [`metrics::StoreMetrics`] — byte/operation accounting and a capacity
 //!   timeline.
 
+pub mod envelope;
 pub mod flaky;
 pub mod fs;
 pub mod memory;
 pub mod metrics;
 pub mod multipart;
 pub mod remote;
+pub mod scrub;
 pub mod tiered;
 
-pub use flaky::{FailureMode, FlakyStore};
+pub use flaky::{CorruptionKind, CorruptionSpec, FailureMode, FlakyStore};
 pub use fs::FsStore;
 pub use memory::InMemoryStore;
 pub use metrics::{CapacityPoint, StoreMetrics};
 pub use multipart::{MultipartUpload, PartReceipt};
 pub use remote::{RemoteConfig, SimulatedRemoteStore};
+pub use scrub::{ScrubReport, Scrubber};
 pub use tiered::{EvictionPolicy, TieredStore};
 
 use bytes::Bytes;
@@ -50,6 +53,10 @@ pub enum StorageError {
     /// from checkpoint manifests, so an out-of-range request means the
     /// object and its metadata disagree — never silently clamped.
     OutOfRange(String),
+    /// The object's bytes fail their integrity check: a v3 envelope with a
+    /// bad magic/version/length/CRC (see [`envelope`]). Readers treat this
+    /// as a damaged replica — retry another — never as data.
+    Corrupt(String),
 }
 
 impl std::fmt::Display for StorageError {
@@ -59,6 +66,7 @@ impl std::fmt::Display for StorageError {
             StorageError::Io(e) => write!(f, "storage I/O error: {e}"),
             StorageError::InvalidKey(k) => write!(f, "invalid object key: {k}"),
             StorageError::OutOfRange(m) => write!(f, "ranged read out of range: {m}"),
+            StorageError::Corrupt(m) => write!(f, "corrupt object: {m}"),
         }
     }
 }

@@ -1,0 +1,348 @@
+//! Background integrity scrubber.
+//!
+//! Checkpoints outlive the writes that created them: a chunk written today
+//! may not be read until a failure weeks later, long past any write-time
+//! verification. Production stores rot in the meantime — media decay,
+//! truncated repairs, replicas that diverge. The scrubber is the defense:
+//! it walks live objects *before* a restore needs them, validates each
+//! one's v3 envelope (see [`crate::envelope`]), and repairs what it finds:
+//!
+//! * **Transit damage** — a read served by a sick replica — heals by
+//!   re-reading: the next read lands on a healthy replica (in simulation,
+//!   [`crate::FlakyStore`] corruption is keyed by read count, so a retry
+//!   models exactly that).
+//! * **At-rest damage** — the stored bytes themselves are bad — heals from
+//!   a replica store when one is configured: the clean replica bytes are
+//!   verified and written back over the damaged object.
+//! * **Legacy (v2-era) objects** are upgraded in place: wrapped in a v3
+//!   envelope so every future read is checksum-verified. Manifests keep
+//!   their [`envelope::FLAG_MANIFEST`] marker.
+//!
+//! Each sweep returns a [`ScrubReport`]; the cluster layer
+//! (`cnr_cluster::scrub`) schedules sweeps and aggregates findings into
+//! run statistics.
+
+use crate::envelope::{self, Inspection};
+use crate::{ObjectStore, Result};
+use bytes::Bytes;
+
+/// Findings of one scrub sweep.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Objects examined.
+    pub scanned: u64,
+    /// Objects whose v3 envelope verified on first read.
+    pub clean: u64,
+    /// Legacy (pre-envelope) objects found.
+    pub legacy_found: u64,
+    /// Legacy objects rewrapped in a v3 envelope in place.
+    pub upgraded: u64,
+    /// Objects whose first read failed envelope verification.
+    pub corrupt_detected: u64,
+    /// Corrupt objects healed — from a re-read (healthy replica) or from
+    /// the replica store — and written back clean.
+    pub repaired: u64,
+    /// Keys that could not be read clean from any source.
+    pub unrepairable: Vec<String>,
+}
+
+impl ScrubReport {
+    /// The report as plain-count findings for the cluster-level scrub log
+    /// ([`cnr_cluster::scrub::ScrubScheduler`]).
+    pub fn findings(&self) -> cnr_cluster::ScrubFindings {
+        cnr_cluster::ScrubFindings {
+            scanned: self.scanned,
+            clean: self.clean,
+            legacy_found: self.legacy_found,
+            upgraded: self.upgraded,
+            corrupt_detected: self.corrupt_detected,
+            repaired: self.repaired,
+            unrepairable: self.unrepairable.len() as u64,
+        }
+    }
+
+    /// Accumulates another sweep's findings into this one.
+    pub fn absorb(&mut self, other: &ScrubReport) {
+        self.scanned += other.scanned;
+        self.clean += other.clean;
+        self.legacy_found += other.legacy_found;
+        self.upgraded += other.upgraded;
+        self.corrupt_detected += other.corrupt_detected;
+        self.repaired += other.repaired;
+        self.unrepairable.extend(other.unrepairable.iter().cloned());
+    }
+}
+
+/// Walks stored objects, validating envelopes and repairing damage.
+pub struct Scrubber<'a> {
+    primary: &'a dyn ObjectStore,
+    replica: Option<&'a dyn ObjectStore>,
+    /// Reads attempted against the primary per object before falling back
+    /// to the replica store (each retry models a different replica).
+    read_attempts: u32,
+    /// Whether legacy objects are rewrapped in place.
+    upgrade_legacy: bool,
+}
+
+impl<'a> Scrubber<'a> {
+    /// A scrubber over `primary` with no replica fallback, 3 read
+    /// attempts, and in-place legacy upgrades enabled.
+    pub fn new(primary: &'a dyn ObjectStore) -> Self {
+        Self {
+            primary,
+            replica: None,
+            read_attempts: 3,
+            upgrade_legacy: true,
+        }
+    }
+
+    /// Adds a replica store to heal at-rest damage from.
+    pub fn with_replica(mut self, replica: &'a dyn ObjectStore) -> Self {
+        self.replica = Some(replica);
+        self
+    }
+
+    /// Overrides the per-object primary read budget (minimum 1).
+    pub fn with_read_attempts(mut self, attempts: u32) -> Self {
+        self.read_attempts = attempts.max(1);
+        self
+    }
+
+    /// Disables in-place v2→v3 upgrades (verify-only sweeps).
+    pub fn without_legacy_upgrade(mut self) -> Self {
+        self.upgrade_legacy = false;
+        self
+    }
+
+    /// Scrubs every key under `prefix`.
+    pub fn sweep_prefix(&self, prefix: &str) -> Result<ScrubReport> {
+        let keys = self.primary.list(prefix)?;
+        Ok(self.sweep(keys.iter().map(String::as_str)))
+    }
+
+    /// Scrubs the given keys, returning the sweep's findings. Individual
+    /// object failures never abort the sweep — they are reported.
+    pub fn sweep<'k>(&self, keys: impl IntoIterator<Item = &'k str>) -> ScrubReport {
+        let mut report = ScrubReport::default();
+        for key in keys {
+            report.scanned += 1;
+            self.scrub_one(key, &mut report);
+        }
+        report
+    }
+
+    fn scrub_one(&self, key: &str, report: &mut ScrubReport) {
+        let first = match self.primary.get(key) {
+            Ok(bytes) => bytes,
+            Err(_) => {
+                // Unreadable outright: try the healing path from scratch.
+                report.corrupt_detected += 1;
+                match self.heal(key, 1) {
+                    Some(_) => report.repaired += 1,
+                    None => report.unrepairable.push(key.to_string()),
+                }
+                return;
+            }
+        };
+        match envelope::inspect(&first) {
+            Inspection::ValidV3 { .. } => report.clean += 1,
+            Inspection::Legacy => {
+                report.legacy_found += 1;
+                if self.upgrade_legacy && self.upgrade(key, &first) {
+                    report.upgraded += 1;
+                }
+            }
+            Inspection::CorruptV3(_) => {
+                report.corrupt_detected += 1;
+                match self.heal(key, 1) {
+                    Some(_) => report.repaired += 1,
+                    None => report.unrepairable.push(key.to_string()),
+                }
+            }
+        }
+    }
+
+    /// Tries to obtain verified-clean bytes for `key` — re-reads of the
+    /// primary first (`attempts_used` already spent), then the replica
+    /// store — and writes them back over the damaged object.
+    fn heal(&self, key: &str, attempts_used: u32) -> Option<Bytes> {
+        for _ in attempts_used..self.read_attempts {
+            if let Ok(bytes) = self.primary.get(key) {
+                if matches!(envelope::inspect(&bytes), Inspection::ValidV3 { .. }) {
+                    return self.write_back(key, bytes);
+                }
+            }
+        }
+        let replica = self.replica?;
+        let bytes = replica.get(key).ok()?;
+        if matches!(envelope::inspect(&bytes), Inspection::ValidV3 { .. }) {
+            return self.write_back(key, bytes);
+        }
+        None
+    }
+
+    fn write_back(&self, key: &str, bytes: Bytes) -> Option<Bytes> {
+        self.primary.put(key, bytes.clone()).ok()?;
+        Some(bytes)
+    }
+
+    /// Rewraps a legacy object in a v3 envelope in place.
+    fn upgrade(&self, key: &str, legacy: &Bytes) -> bool {
+        let flags = if key.ends_with("/manifest") {
+            envelope::FLAG_MANIFEST
+        } else {
+            0
+        };
+        let wrapped = envelope::wrap_with_flags(legacy, flags);
+        self.primary.put(key, Bytes::from(wrapped)).is_ok()
+    }
+}
+
+/// Convenience: scrubs `keys` on `primary` against an optional `replica`
+/// with default settings.
+pub fn sweep_keys(
+    primary: &dyn ObjectStore,
+    replica: Option<&dyn ObjectStore>,
+    keys: &[String],
+) -> ScrubReport {
+    let mut scrubber = Scrubber::new(primary);
+    if let Some(r) = replica {
+        scrubber = scrubber.with_replica(r);
+    }
+    scrubber.sweep(keys.iter().map(String::as_str))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flaky::{CorruptionKind, CorruptionSpec};
+    use crate::{envelope, FlakyStore, InMemoryStore};
+
+    fn put_enveloped(store: &dyn ObjectStore, key: &str, payload: &[u8]) {
+        store
+            .put(key, Bytes::from(envelope::wrap(payload)))
+            .unwrap();
+    }
+
+    /// Overwrites `key` with envelope bytes whose payload was damaged
+    /// after checksumming — at-rest corruption.
+    fn poison(store: &dyn ObjectStore, key: &str) {
+        let mut bytes = store.get(key).unwrap().to_vec();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        store.put(key, Bytes::from(bytes)).unwrap();
+    }
+
+    #[test]
+    fn clean_sweep_reports_all_clean() {
+        let store = InMemoryStore::new();
+        for i in 0..5 {
+            put_enveloped(&store, &format!("job/0/chunk-{i}"), b"payload");
+        }
+        let report = Scrubber::new(&store).sweep_prefix("job/").unwrap();
+        assert_eq!(report.scanned, 5);
+        assert_eq!(report.clean, 5);
+        assert_eq!(report.corrupt_detected, 0);
+        assert!(report.unrepairable.is_empty());
+    }
+
+    #[test]
+    fn at_rest_damage_heals_from_the_replica_store() {
+        let primary = InMemoryStore::new();
+        let replica = InMemoryStore::new();
+        let n = 7;
+        for i in 0..n {
+            let key = format!("job/0/chunk-{i}");
+            put_enveloped(&primary, &key, b"the real bytes");
+            put_enveloped(&replica, &key, b"the real bytes");
+        }
+        // Poison every object in the primary.
+        for i in 0..n {
+            poison(&primary, &format!("job/0/chunk-{i}"));
+        }
+        let report = Scrubber::new(&primary)
+            .with_replica(&replica)
+            .sweep_prefix("job/")
+            .unwrap();
+        assert_eq!(report.scanned, n);
+        assert_eq!(report.corrupt_detected, n);
+        assert_eq!(report.repaired, n, "all N poisoned objects repaired");
+        assert!(report.unrepairable.is_empty());
+        // The primary now verifies clean end to end.
+        let again = Scrubber::new(&primary).sweep_prefix("job/").unwrap();
+        assert_eq!(again.clean, n);
+        for i in 0..n {
+            let bytes = primary.get(&format!("job/0/chunk-{i}")).unwrap();
+            assert_eq!(envelope::open(&bytes).unwrap(), b"the real bytes");
+        }
+    }
+
+    #[test]
+    fn transit_damage_heals_by_rereading_without_a_replica() {
+        let inner = InMemoryStore::new();
+        put_enveloped(&inner, "job/0/chunk-0", b"payload");
+        // The first read of the object is served damaged; retries are clean.
+        let primary = FlakyStore::corrupting_reads(
+            inner,
+            CorruptionSpec::once(CorruptionKind::BitFlip, 1).with_seed(11),
+        );
+        let report = Scrubber::new(&primary).sweep_prefix("job/").unwrap();
+        assert_eq!(report.corrupt_detected, 1);
+        assert_eq!(report.repaired, 1, "healthy replica found on retry");
+        assert!(report.unrepairable.is_empty());
+    }
+
+    #[test]
+    fn unrepairable_damage_is_reported_not_hidden() {
+        let primary = InMemoryStore::new();
+        put_enveloped(&primary, "job/0/chunk-0", b"payload");
+        poison(&primary, "job/0/chunk-0");
+        let report = Scrubber::new(&primary).sweep_prefix("job/").unwrap();
+        assert_eq!(report.corrupt_detected, 1);
+        assert_eq!(report.repaired, 0);
+        assert_eq!(report.unrepairable, vec!["job/0/chunk-0".to_string()]);
+    }
+
+    #[test]
+    fn legacy_objects_upgrade_in_place() {
+        let store = InMemoryStore::new();
+        store
+            .put("job/0/manifest", Bytes::from_static(b"CNRM legacy manifest"))
+            .unwrap();
+        store
+            .put("job/0/chunk-0", Bytes::from_static(b"\x10\x00\x00\x00 legacy chunk"))
+            .unwrap();
+        let report = Scrubber::new(&store).sweep_prefix("job/").unwrap();
+        assert_eq!(report.legacy_found, 2);
+        assert_eq!(report.upgraded, 2);
+
+        // Upgraded objects verify, unwrap to the original bytes, and
+        // manifests carry the manifest flag.
+        let m = store.get("job/0/manifest").unwrap();
+        let (flags, payload) = envelope::unwrap(&m).unwrap();
+        assert_eq!(flags, envelope::FLAG_MANIFEST);
+        assert_eq!(payload, b"CNRM legacy manifest");
+        let c = store.get("job/0/chunk-0").unwrap();
+        let (flags, payload) = envelope::unwrap(&c).unwrap();
+        assert_eq!(flags, 0);
+        assert_eq!(payload, b"\x10\x00\x00\x00 legacy chunk");
+
+        // A second sweep finds nothing left to do.
+        let again = Scrubber::new(&store).sweep_prefix("job/").unwrap();
+        assert_eq!(again.clean, 2);
+        assert_eq!(again.upgraded, 0);
+    }
+
+    #[test]
+    fn verify_only_sweep_leaves_legacy_untouched() {
+        let store = InMemoryStore::new();
+        store.put("k", Bytes::from_static(b"legacy")).unwrap();
+        let report = Scrubber::new(&store)
+            .without_legacy_upgrade()
+            .sweep_prefix("")
+            .unwrap();
+        assert_eq!(report.legacy_found, 1);
+        assert_eq!(report.upgraded, 0);
+        assert_eq!(store.get("k").unwrap(), Bytes::from_static(b"legacy"));
+    }
+}

@@ -23,10 +23,16 @@
 //!   cache when the range covered the whole object.
 //! * multipart uploads go straight to the remote — parts are transient and
 //!   a checkpoint chunk is only read back on restore, when `get` caches it.
+//! * cache hits are *revalidated*: local flash rots too, so an object that
+//!   carries a v3 envelope (see [`crate::envelope`]) is checksum-verified
+//!   on every hit. A failed check evicts the poisoned entry and falls
+//!   through to the remote — the cache can delay detection of remote
+//!   corruption, but it can never convert local corruption into data.
 //!
 //! Listing, metadata, and capacity reflect the remote tier: the cache is an
 //! invisible accelerator, never the source of truth.
 
+use crate::envelope;
 use crate::multipart::{MultipartUpload, PartReceipt};
 use crate::{CacheStats, GetReceipt, ObjectMeta, ObjectStore, PutReceipt, Result, StorageError};
 use bytes::Bytes;
@@ -59,6 +65,9 @@ pub struct TieredStore<C, R> {
     resident: Mutex<VecDeque<String>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    /// Cache entries evicted because their envelope failed verification
+    /// on a hit.
+    verify_evictions: AtomicU64,
 }
 
 impl<C: ObjectStore, R: ObjectStore> TieredStore<C, R> {
@@ -84,6 +93,7 @@ impl<C: ObjectStore, R: ObjectStore> TieredStore<C, R> {
             resident: Mutex::new(VecDeque::new()),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            verify_evictions: AtomicU64::new(0),
         }
     }
 
@@ -115,6 +125,33 @@ impl<C: ObjectStore, R: ObjectStore> TieredStore<C, R> {
     /// The eviction policy in use.
     pub fn eviction_policy(&self) -> EvictionPolicy {
         self.policy
+    }
+
+    /// Cache entries evicted because their v3 envelope failed verification
+    /// on a hit (poisoned local copies caught before being served).
+    pub fn cache_verify_evictions(&self) -> u64 {
+        self.verify_evictions.load(Ordering::Relaxed)
+    }
+
+    /// Looks `key` up in the cache, revalidating enveloped entries: a
+    /// cached object whose v3 envelope no longer verifies is evicted and
+    /// reported as absent, so the caller falls through to the remote.
+    /// Legacy (pre-envelope) bytes are served as-is — their integrity is
+    /// the inner codec's job. Verification is pure CPU: it adds no
+    /// simulated time and touches no remote channel.
+    fn cache_lookup(&self, key: &str) -> Result<Option<Bytes>> {
+        match self.cache.get(key) {
+            Ok(data) => {
+                if envelope::is_enveloped(&data) && envelope::unwrap(&data).is_err() {
+                    self.verify_evictions.fetch_add(1, Ordering::Relaxed);
+                    self.cache_forget(key);
+                    return Ok(None);
+                }
+                Ok(Some(data))
+            }
+            Err(StorageError::NotFound(_)) => Ok(None),
+            Err(e) => Err(e),
+        }
     }
 
     fn stats(&self) -> CacheStats {
@@ -178,41 +215,32 @@ impl<C: ObjectStore, R: ObjectStore> ObjectStore for TieredStore<C, R> {
     }
 
     fn get(&self, key: &str) -> Result<Bytes> {
-        match self.cache.get(key) {
-            Ok(data) => {
-                self.on_hit(key);
-                Ok(data)
-            }
-            Err(StorageError::NotFound(_)) => {
-                let data = self.remote.get(key)?;
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                self.cache_insert(key, data.clone());
-                Ok(data)
-            }
-            Err(e) => Err(e),
+        if let Some(data) = self.cache_lookup(key)? {
+            self.on_hit(key);
+            return Ok(data);
         }
+        let data = self.remote.get(key)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.cache_insert(key, data.clone());
+        Ok(data)
     }
 
-    // Ranged reads are served by slicing the cached whole object; a miss
+    // Ranged reads are served by slicing the cached whole object (after
+    // revalidating it — a slice of a rotten object is rotten); a miss
     // falls through to the remote's ranged read (which pays the remote
     // channel) and caches the object when the range covered all of it.
 
     fn get_range(&self, key: &str, offset: u64, len: u64) -> Result<Bytes> {
-        match self.cache.get(key) {
-            Ok(data) => {
-                self.on_hit(key);
-                crate::checked_range(&data, key, offset, len)
-            }
-            Err(StorageError::NotFound(_)) => {
-                let data = self.remote.get_range(key, offset, len)?;
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                if offset == 0 && data.len() as u64 == self.remote.head(key)?.size {
-                    self.cache_insert(key, data.clone());
-                }
-                Ok(data)
-            }
-            Err(e) => Err(e),
+        if let Some(data) = self.cache_lookup(key)? {
+            self.on_hit(key);
+            return crate::checked_range(&data, key, offset, len);
         }
+        let data = self.remote.get_range(key, offset, len)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if offset == 0 && data.len() as u64 == self.remote.head(key)?.size {
+            self.cache_insert(key, data.clone());
+        }
+        Ok(data)
     }
 
     fn get_part(
@@ -223,32 +251,27 @@ impl<C: ObjectStore, R: ObjectStore> ObjectStore for TieredStore<C, R> {
         channel: u32,
         not_before: Duration,
     ) -> Result<(Bytes, GetReceipt)> {
-        match self.cache.get(key) {
-            Ok(data) => {
-                self.on_hit(key);
-                let data = crate::checked_range(&data, key, offset, len)?;
-                let bytes = data.len() as u64;
-                // A local NVMe read: instantaneous in simulated time, no
-                // remote channel occupied.
-                Ok((
-                    data,
-                    GetReceipt {
-                        bytes,
-                        transfer_time: Duration::ZERO,
-                        completed_at: not_before,
-                    },
-                ))
-            }
-            Err(StorageError::NotFound(_)) => {
-                let (data, receipt) = self.remote.get_part(key, offset, len, channel, not_before)?;
-                self.misses.fetch_add(1, Ordering::Relaxed);
-                if offset == 0 && data.len() as u64 == self.remote.head(key)?.size {
-                    self.cache_insert(key, data.clone());
-                }
-                Ok((data, receipt))
-            }
-            Err(e) => Err(e),
+        if let Some(data) = self.cache_lookup(key)? {
+            self.on_hit(key);
+            let data = crate::checked_range(&data, key, offset, len)?;
+            let bytes = data.len() as u64;
+            // A local NVMe read: instantaneous in simulated time, no
+            // remote channel occupied.
+            return Ok((
+                data,
+                GetReceipt {
+                    bytes,
+                    transfer_time: Duration::ZERO,
+                    completed_at: not_before,
+                },
+            ));
         }
+        let (data, receipt) = self.remote.get_part(key, offset, len, channel, not_before)?;
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if offset == 0 && data.len() as u64 == self.remote.head(key)?.size {
+            self.cache_insert(key, data.clone());
+        }
+        Ok((data, receipt))
     }
 
     fn cache_stats(&self) -> Option<CacheStats> {
@@ -258,7 +281,11 @@ impl<C: ObjectStore, R: ObjectStore> ObjectStore for TieredStore<C, R> {
     fn offer_cached(&self, key: &str, data: Bytes) {
         // A reader reassembled the object from ranged reads (multi-part
         // chunks can never populate via the miss path). Verify the payload
-        // matches the remote's view of the object before retaining it.
+        // matches the remote's view of the object — and, for enveloped
+        // objects, that the checksum holds — before retaining it.
+        if envelope::is_enveloped(&data) && envelope::unwrap(&data).is_err() {
+            return;
+        }
         if matches!(self.remote.head(key), Ok(meta) if meta.size == data.len() as u64) {
             self.cache_insert(key, data);
         }
@@ -503,6 +530,64 @@ mod tests {
         let before = store.cache_hits();
         store.get_part("chunk", 0, 6, 0, Duration::ZERO).unwrap();
         assert_eq!(store.cache_hits(), before + 1);
+    }
+
+    #[test]
+    fn poisoned_cache_entry_is_evicted_and_refetched() {
+        let store = tiered(1 << 20);
+        let clean = Bytes::from(crate::envelope::wrap(b"the chunk payload"));
+        store.put("obj", clean.clone()).unwrap();
+
+        // Rot the *cached* copy: flip a payload byte behind the tier's back.
+        let mut poisoned = store.cache().get("obj").unwrap().to_vec();
+        let last = poisoned.len() - 1;
+        poisoned[last] ^= 0x40;
+        store.cache().put("obj", Bytes::from(poisoned)).unwrap();
+
+        // The hit path must detect the damage, evict, and serve the clean
+        // remote copy — never the poisoned bytes.
+        assert_eq!(store.get("obj").unwrap(), clean);
+        assert_eq!(store.cache_verify_evictions(), 1);
+        assert_eq!(store.cache_misses(), 1, "fell through to the remote");
+        // The eviction re-populated the cache with verified bytes.
+        assert_eq!(store.cache().get("obj").unwrap(), clean);
+        assert_eq!(store.get("obj").unwrap(), clean);
+        assert_eq!(store.cache_hits(), 1);
+
+        // Ranged hits revalidate too.
+        let mut poisoned = store.cache().get("obj").unwrap().to_vec();
+        poisoned[crate::envelope::HEADER_LEN] ^= 0x01;
+        store.cache().put("obj", Bytes::from(poisoned)).unwrap();
+        let slice = store.get_range("obj", 0, clean.len() as u64).unwrap();
+        assert_eq!(slice, clean);
+        assert_eq!(store.cache_verify_evictions(), 2);
+
+        let mut poisoned = store.cache().get("obj").unwrap().to_vec();
+        poisoned[5] ^= 0x02; // header damage (version field)
+        store.cache().put("obj", Bytes::from(poisoned)).unwrap();
+        let (slice, _) = store
+            .get_part("obj", 0, clean.len() as u64, 0, Duration::ZERO)
+            .unwrap();
+        assert_eq!(slice, clean);
+        assert_eq!(store.cache_verify_evictions(), 3);
+    }
+
+    #[test]
+    fn offer_cached_rejects_corrupt_envelopes() {
+        let store = tiered(1 << 20);
+        let clean = Bytes::from(crate::envelope::wrap(b"reassembled chunk"));
+        store.put("obj", clean.clone()).unwrap();
+        store.cache_forget("obj");
+
+        // A reassembly that lost a bit must not poison the cache...
+        let mut bad = clean.to_vec();
+        bad[clean.len() - 1] ^= 0x10;
+        store.offer_cached("obj", Bytes::from(bad));
+        assert!(store.cache().get("obj").is_err(), "corrupt offer rejected");
+
+        // ...while a verified reassembly populates it.
+        store.offer_cached("obj", clean.clone());
+        assert_eq!(store.cache().get("obj").unwrap(), clean);
     }
 
     #[test]
