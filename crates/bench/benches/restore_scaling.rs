@@ -1,102 +1,39 @@
 //! Restore-scaling bench: the same checkpoint restored over 1/2/4/8
-//! reader hosts.
+//! reader hosts, plus the serial-vs-threaded decode comparison.
 //!
-//! Two quantities matter and the bench reports both:
+//! Three quantities matter and the bench reports all of them:
 //!
 //! * **wall time** (criterion's measurement) — the bookkeeping cost of the
-//!   sharded recovery pipeline; and
+//!   sharded recovery pipeline;
 //! * **simulated ready-to-train time** (printed once per host count, and
 //!   asserted: multi-host must beat single-host) — the §2/§5 downtime the
 //!   paper's availability model cares about, which drops near-linearly
-//!   with hosts because each host fetches its share over its own downlink.
+//!   with hosts because each host fetches its share over its own downlink;
+//! * **decode wall-clock, 1 vs 4 worker threads** — the CPU half of
+//!   time-to-resume. On a multi-core host the threaded decode must beat
+//!   the serial one (asserted); on a single-core host the assertion is
+//!   skipped with a printed notice, since there is nothing to win.
+//!
+//! The measurement functions live in `cnr_bench::trajectory`, shared with
+//! the `cnr_bench` binary that writes the checked-in `BENCH_restore.json`.
 
-use cnr_cluster::SimClock;
-use cnr_core::config::CheckpointConfig;
-use cnr_core::manifest::{CheckpointId, CheckpointKind};
-use cnr_core::policy::{Decision, TrackerAction};
-use cnr_core::read::{restore_sharded, RestoreOptions};
-use cnr_core::snapshot::SnapshotTaker;
-use cnr_core::write::CheckpointWriter;
-use cnr_core::TrainingSnapshot;
-use cnr_model::{DlrmModel, ModelConfig, ShardPlan};
-use cnr_quant::QuantScheme;
-use cnr_reader::ReaderState;
-use cnr_storage::{RemoteConfig, SimulatedRemoteStore};
-use cnr_trainer::{Trainer, TrainerConfig};
-use cnr_workload::{DatasetSpec, SyntheticDataset};
+use cnr_bench::trajectory::{
+    decode_snapshot, decode_store, decode_wall_clock, restore_snapshot,
+    simulated_ready_to_train,
+};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::time::Duration;
-
-fn snapshot() -> (ModelConfig, TrainingSnapshot) {
-    let spec = DatasetSpec::tiny(2424);
-    let ds = SyntheticDataset::new(spec.clone());
-    let cfg = ModelConfig::for_dataset(&spec, 16);
-    let model = DlrmModel::new(cfg.clone());
-    let mut trainer = Trainer::new(model, SimClock::new(), TrainerConfig::default());
-    for i in 0..3 {
-        trainer.train_one(&ds.batch(i));
-    }
-    let snap = SnapshotTaker::new(ShardPlan::balanced(&cfg, 1, 2)).take(
-        &mut trainer,
-        ReaderState::at(3),
-        Decision {
-            kind: CheckpointKind::Full,
-            tracker: TrackerAction::SnapshotReset,
-        },
-        &CheckpointConfig::default(),
-    );
-    (cfg, snap)
-}
-
-/// Writes the checkpoint once and restores it over `hosts` reader hosts,
-/// returning the simulated time from failure to ready-to-train.
-fn restore_once(model_cfg: &ModelConfig, snap: &TrainingSnapshot, hosts: usize) -> Duration {
-    let store = SimulatedRemoteStore::new(
-        RemoteConfig {
-            bandwidth_bytes_per_sec: 4.0 * 1024.0 * 1024.0,
-            base_latency: Duration::from_micros(200),
-            replication: 1,
-            channels: hosts as u32,
-        },
-        SimClock::new(),
-    );
-    let writer = CheckpointWriter::new(&store, "bench");
-    let cfg = CheckpointConfig {
-        // 24 chunks over the two tiny tables: divisible by 8 reader hosts,
-        // so the printed scaling approaches the ideal 8x.
-        chunk_rows: 64,
-        ..CheckpointConfig::default()
-    };
-    writer
-        .write(snap, CheckpointId(0), None, QuantScheme::Fp32, &cfg)
-        .expect("write");
-    let failed_at = store.wait_for_drain();
-    let sharded = restore_sharded(
-        &store,
-        "bench",
-        CheckpointId(0),
-        model_cfg,
-        &RestoreOptions {
-            reader_hosts: hosts,
-            ..RestoreOptions::default()
-        },
-        failed_at,
-    )
-    .expect("restore");
-    sharded.breakdown.fetch
-}
 
 fn restore_scaling(c: &mut Criterion) {
-    let (model_cfg, snap) = snapshot();
+    let (model_cfg, snap) = restore_snapshot();
     let mut group = c.benchmark_group("restore");
     group.sample_size(10);
     let mut ready = Vec::new();
     for hosts in [1usize, 2, 4, 8] {
-        let t = restore_once(&model_cfg, &snap, hosts);
+        let t = simulated_ready_to_train(&model_cfg, &snap, hosts);
         println!("# restore/{hosts}: simulated ready-to-train {t:?}");
         ready.push((hosts, t));
         group.bench_with_input(BenchmarkId::from_parameter(hosts), &hosts, |b, &hosts| {
-            b.iter(|| restore_once(&model_cfg, &snap, hosts));
+            b.iter(|| simulated_ready_to_train(&model_cfg, &snap, hosts));
         });
     }
     group.finish();
@@ -110,9 +47,51 @@ fn restore_scaling(c: &mut Criterion) {
     );
 }
 
+fn decode_scaling(c: &mut Criterion) {
+    // `cargo test` runs this in smoke mode (no `--bench` in args): use the
+    // quick workload and fewer rounds so the smoke pass stays cheap.
+    let full = std::env::args().any(|a| a == "--bench");
+    let (model_cfg, snap) = decode_snapshot(!full);
+    let store = decode_store(&snap);
+    let rounds = if full { 5 } else { 2 };
+    let serial = decode_wall_clock(&store, &model_cfg, 1, rounds);
+    let threaded = decode_wall_clock(&store, &model_cfg, 4, rounds);
+    println!("# decode wall-clock: 1 worker {serial:?}, 4 workers {threaded:?}");
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    if cores >= 2 {
+        // The threaded-decode acceptance property: with real cores to run
+        // on, multi-threaded dequantization beats the serial walk of the
+        // same chunk list (bit-identity is proptested separately).
+        assert!(
+            threaded < serial,
+            "threaded decode must beat serial on a {cores}-core host: \
+             1 worker {serial:?}, 4 workers {threaded:?}"
+        );
+    } else {
+        println!(
+            "# single-core host: skipping the threaded-beats-serial \
+             assertion (nothing to parallelize onto)"
+        );
+    }
+    let mut group = c.benchmark_group("decode");
+    group.sample_size(10);
+    for workers in [1usize, 4] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(workers),
+            &workers,
+            |b, &workers| {
+                b.iter(|| decode_wall_clock(&store, &model_cfg, workers, 1));
+            },
+        );
+    }
+    group.finish();
+}
+
 criterion_group! {
     name = benches;
     config = Criterion::default();
-    targets = restore_scaling
+    targets = restore_scaling, decode_scaling
 }
 criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Emits the checked-in bench-trajectory files `BENCH_restore.json` and
+//! `BENCH_quant.json` at the repo root.
+//!
+//! ```text
+//! cargo run --release -p cnr_bench --bin cnr_bench            # full mode
+//! cargo run --release -p cnr_bench --bin cnr_bench -- --quick # CI mode
+//! cargo run ... -- --out-dir some/dir                         # elsewhere
+//! ```
+//!
+//! Full mode is what maintainers run before committing a hot-path change;
+//! quick mode shrinks the decode workload and round counts so CI can
+//! regenerate in seconds. Simulated (`simulated_us`) records are identical
+//! in both modes and on every machine; wall-clock (`ns`) records are only
+//! comparable within one machine's history.
+
+use cnr_bench::trajectory::{quant_records, restore_records, to_json};
+use std::path::PathBuf;
+
+fn main() {
+    let mut quick = false;
+    let mut out_dir = PathBuf::from(".");
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out-dir" => {
+                out_dir = PathBuf::from(
+                    args.next().expect("--out-dir requires a directory argument"),
+                );
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: cnr_bench [--quick] [--out-dir <dir>]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mode = if quick { "quick" } else { "full" };
+    std::fs::create_dir_all(&out_dir).expect("create --out-dir");
+
+    let restore = restore_records(quick);
+    let restore_path = out_dir.join("BENCH_restore.json");
+    std::fs::write(&restore_path, to_json("restore", mode, &restore))
+        .expect("write BENCH_restore.json");
+    println!("wrote {} ({} records)", restore_path.display(), restore.len());
+
+    let quant = quant_records(quick);
+    let quant_path = out_dir.join("BENCH_quant.json");
+    std::fs::write(&quant_path, to_json("quant", mode, &quant))
+        .expect("write BENCH_quant.json");
+    println!("wrote {} ({} records)", quant_path.display(), quant.len());
+}

@@ -12,6 +12,7 @@
 //! figure.
 
 pub mod figures;
+pub mod trajectory;
 pub mod workloads;
 
 /// Prints a CSV header and rows with a `# <title>` preamble.

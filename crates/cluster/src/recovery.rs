@@ -74,6 +74,9 @@ pub struct ResumeBreakdown {
     /// Chunks that failed verification and were then served clean by a
     /// re-fetch from another replica.
     pub corruption_repaired: u64,
+    /// Whole-chunk re-fetches performed to heal (or attempt to heal)
+    /// corruption — distinct from transient I/O retries of single ranges.
+    pub corruption_refetches: u64,
     /// Cache-tier hit rate of the restore's reads, when the store has a
     /// cache tier ([`TieredStore`](../../cnr_storage/struct.TieredStore.html)).
     pub cache_hit_rate: Option<f64>,
@@ -321,6 +324,7 @@ mod tests {
             rescheduled_chunks: 0,
             corruption_detected: 0,
             corruption_repaired: 0,
+            corruption_refetches: 0,
             cache_hit_rate: None,
         }
     }

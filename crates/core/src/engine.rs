@@ -6,10 +6,13 @@
 //! 1. each interval, extend the reader budget by exactly
 //!    `interval_batches` (§4.1 gap avoidance);
 //! 2. train; the tracker marks modified rows (§5.1.1);
-//! 3. at the interval boundary: wait out any still-writing checkpoint
-//!    (§4.3 non-overlap), collect the drained reader state, ask the policy
+//! 3. at the interval boundary: collect the reader state, ask the policy
 //!    for full-vs-incremental, stall-and-snapshot (§4.2), and hand the
-//!    snapshot to the background writer pipeline (§4.4);
+//!    snapshot to the background writer pipeline (§4.4). Under the §4.3
+//!    relaxation the new interval's snapshot and quantization *overlap*
+//!    any still-draining upload of the previous checkpoint — the writer
+//!    floors the new uploads at the previous durability point, so the
+//!    uploads themselves never overlap;
 //! 4. when the write is durable, register it with the controller, which
 //!    applies retention (§4.4);
 //! 5. on failure ([`Engine::simulate_failure_and_restore`]): restore the
@@ -313,13 +316,13 @@ impl Engine {
     }
 
     fn checkpoint_inner(&mut self, kill: Option<HostKill>) -> Result<CheckpointRecord> {
-        // §4.3: the previous checkpoint must be fully written (or cancelled)
-        // before a new one starts; waiting also models "the current
-        // checkpoint can utilize all available resources". Poll the pending
-        // durability point and advance only the remaining time — if
-        // training already ran past it, the uploads overlapped completely
-        // and there is no wait at all.
-        self.clock.advance_to(self.uploads_durable_at);
+        // §4.3, relaxed: interval N+1's snapshot and quantization are CPU
+        // work and may overlap interval N's upload drain — only the
+        // *uploads* must not overlap. Instead of blocking the clock on the
+        // pending durability point, pass it down as the writer's upload
+        // floor: every part of the new checkpoint queues behind it, while
+        // the stall and quantize below happen concurrently with the drain.
+        let uploads_after = self.uploads_durable_at;
 
         let reader_state = self.reader.collect_state();
         let decision = self.policy.decide();
@@ -344,8 +347,15 @@ impl Engine {
         }
 
         let writer = CheckpointWriter::new(self.store.as_ref(), &self.job);
-        let record =
-            writer.write_with_failures(&snapshot, id, base, scheme, &self.config, kill)?;
+        let record = writer.write_overlapping(
+            &snapshot,
+            id,
+            base,
+            scheme,
+            &self.config,
+            kill,
+            uploads_after,
+        )?;
         self.uploads_durable_at = record.completed_at;
         self.last_chunk_count = record.manifest.chunks.len() as u32;
 
@@ -473,6 +483,11 @@ impl Engine {
     fn restore_inner(&mut self, kill: Option<HostKill>) -> Result<RestoreReport> {
         let latest = self.controller.latest().ok_or(CnrError::NothingToRestore)?;
         let model_cfg: ModelConfig = self.trainer.model().config().clone();
+        // §4.4 validity: the newest checkpoint only *exists* once all of
+        // its uploads are durable. With overlapped boundaries a drain may
+        // still be in flight at the failure instant, so the resume clock
+        // starts at the durability point — reads must not race the drain.
+        self.clock.advance_to(self.uploads_durable_at);
         let started_at = self.clock.now();
         let options = self.config.restore_options();
         let sharded = read::restore_sharded_with_failures(
@@ -527,6 +542,7 @@ impl Engine {
             bytes_fetched: breakdown.bytes_fetched,
             corruption_detected: breakdown.corruption_detected,
             corruption_repaired: breakdown.corruption_repaired,
+            corruption_refetches: breakdown.corruption_refetches,
             cache_hit_rate: breakdown.cache_hit_rate,
         });
 
@@ -1072,6 +1088,48 @@ mod tests {
         // next boundary waits out at most what is left.
         e.train_batches(2).unwrap();
         assert!(e.upload_backlog() <= backlog);
+    }
+
+    #[test]
+    fn interval_boundaries_overlap_quantize_with_the_previous_drain() {
+        // Slow uplink + full checkpoints: each drain far outlasts an
+        // interval of training. Under the §4.3 relaxation the boundary no
+        // longer waits the drain out — it snapshots immediately and queues
+        // the new uploads behind the old — so by the third checkpoint the
+        // backlog has *accumulated* past what any single drain could leave
+        // behind. (The pre-relaxation engine advanced the clock to the
+        // previous durability point first, capping the backlog at one
+        // checkpoint's write latency.)
+        let spec = DatasetSpec::tiny(101);
+        let mut e = EngineBuilder::new(spec.clone(), ModelConfig::for_dataset(&spec, 8))
+            .checkpoint_every_batches(5)
+            .cluster_shape(1, 2)
+            .policy(PolicyKind::FullOnly)
+            .remote_config(RemoteConfig {
+                bandwidth_bytes_per_sec: 64.0 * 1024.0, // slow: drain ≫ interval
+                base_latency: Duration::from_micros(100),
+                replication: 1,
+                channels: 1,
+            })
+            .build()
+            .unwrap();
+        e.train_batches(15).unwrap();
+        assert_eq!(e.stats().intervals.len(), 3);
+        let one_drain = e.stats().intervals[0].write_latency;
+        assert!(
+            e.upload_backlog() > one_drain + one_drain / 2,
+            "backlog must accumulate across overlapped boundaries: {:?} vs one drain {:?}",
+            e.upload_backlog(),
+            one_drain
+        );
+        // Durability is still strictly ordered: each checkpoint's validity
+        // clock includes the drains it queued behind.
+        let latencies: Vec<Duration> =
+            e.stats().intervals.iter().map(|i| i.write_latency).collect();
+        assert!(
+            latencies.windows(2).all(|w| w[1] > w[0]),
+            "overlapped writes queue strictly behind their predecessors: {latencies:?}"
+        );
     }
 
     #[test]

@@ -254,6 +254,7 @@ pub fn restore_sharded_with_failures(
         rescheduled_chunks,
         corruption_detected: fetch_status.corruption_detected,
         corruption_repaired: fetch_status.corruption_repaired,
+        corruption_refetches: fetch_status.corruption_refetches,
         cache_hit_rate,
     };
 
@@ -726,6 +727,41 @@ mod tests {
         assert_eq!(sharded.report.state, clean.state, "healed restore is bit-identical");
         assert_eq!(sharded.breakdown.corruption_detected, 1);
         assert_eq!(sharded.breakdown.corruption_repaired, 1);
+        assert_eq!(sharded.breakdown.corruption_refetches, 1);
+        assert_eq!(
+            sharded.fetch_status.retries_performed, 0,
+            "healing must not masquerade as transient retries"
+        );
+    }
+
+    #[test]
+    fn head_failure_mid_restore_is_absorbed() {
+        let (model_cfg, snap) = snapshot_after(3, 8);
+        let inner = InMemoryStore::new();
+        write_to(&inner, &snap, 2);
+        let clean = restore(&inner, "job", CheckpointId(0), &model_cfg).unwrap();
+        // Tiered store whose remote drops every second metadata probe: the
+        // miss path's whole-object size probe is best-effort, so a probe
+        // failing mid-restore only loses cache population — the data that
+        // already arrived is served and the restore completes. (Before the
+        // fix, the probe ran *after* the successful ranged read and its
+        // failure failed the whole read.)
+        let store = TieredStore::new(
+            InMemoryStore::new(),
+            FlakyStore::failing_heads(inner, FailureMode::Every(2)),
+            1 << 30,
+        );
+        let sharded = restore_sharded(
+            &store,
+            "job",
+            CheckpointId(0),
+            &model_cfg,
+            &opts(2),
+            Duration::ZERO,
+        )
+        .unwrap();
+        assert_eq!(sharded.report.state, clean.state, "bit-identical despite probe outage");
+        assert!(store.remote().head_failures_injected() > 0, "probes did fail");
     }
 
     #[test]

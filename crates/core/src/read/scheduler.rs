@@ -34,6 +34,10 @@ pub struct FetchStatus {
     pub backpressure_stalls: u64,
     /// Transient read failures absorbed by retries.
     pub retries_performed: u64,
+    /// Whole-chunk re-fetches triggered by a failed envelope verification
+    /// (corruption healing) — distinct from `retries_performed`, which
+    /// counts only transient I/O retries of individual ranges.
+    pub corruption_refetches: u64,
     /// Envelope verification failures on assembled chunks (each failed
     /// verification counts, including repeat failures of one chunk).
     pub corruption_detected: u64,
@@ -52,6 +56,7 @@ struct FetchState {
     parts_fetched: u64,
     backpressure_stalls: u64,
     retries_performed: u64,
+    corruption_refetches: u64,
     corruption_detected: u64,
     corruption_repaired: u64,
 }
@@ -92,6 +97,7 @@ impl<'a> FetchScheduler<'a> {
                 parts_fetched: 0,
                 backpressure_stalls: 0,
                 retries_performed: 0,
+                corruption_refetches: 0,
                 corruption_detected: 0,
                 corruption_repaired: 0,
             }),
@@ -149,8 +155,11 @@ impl<'a> FetchScheduler<'a> {
                 }
                 Err(e) if refetches < self.retries => {
                     refetches += 1;
+                    // Healing is not a transient retry: whole-chunk
+                    // re-fetches keep their own counter so `ResumeStats`
+                    // can tell flaky networks from rotten replicas.
                     let mut s = self.state.lock().unwrap();
-                    s.retries_performed += 1;
+                    s.corruption_refetches += 1;
                     drop(s);
                     let _ = e; // re-fetch the whole chunk from another replica
                 }
@@ -170,43 +179,59 @@ impl<'a> FetchScheduler<'a> {
         parts: u32,
     ) -> Result<(Bytes, Duration)> {
         let nparts = parts.max(1) as u64;
+        if nparts <= 1 || bytes == 0 {
+            // Zero-copy fast path: a single range *is* the whole object,
+            // so the buffer the store returned flows straight to the
+            // decoder — no reassembly vector, no copy.
+            return self.fetch_part(host, key, 0, bytes);
+        }
         let part_len = bytes.div_ceil(nparts).max(1);
         let mut assembled = Vec::with_capacity(bytes as usize);
         let mut arrived_at = Duration::ZERO;
         let mut offset = 0u64;
-        while offset < bytes || (bytes == 0 && offset == 0) {
+        while offset < bytes {
             let len = part_len.min(bytes - offset);
-            // Hold the host's issuance lock across admit → read → record
-            // so the in-flight window bound holds under concurrent decode
-            // threads (reads are wall-instant; only simulated time is
-            // scheduled here).
-            let guard = self.issue[host as usize].lock().unwrap();
-            let not_before = self.admit(host as usize);
-            let mut attempt = 0u32;
-            let (data, receipt) = loop {
-                match self
-                    .store
-                    .get_part(key, offset, len, host as u32, not_before)
-                {
-                    Ok(ok) => break ok,
-                    Err(StorageError::Io(_)) if attempt < self.retries => {
-                        attempt += 1;
-                        self.state.lock().unwrap().retries_performed += 1;
-                        // Transient: retry the same range.
-                    }
-                    Err(e) => return Err(CnrError::from(e)),
-                }
-            };
-            self.record(host as usize, receipt.completed_at);
-            drop(guard);
-            arrived_at = arrived_at.max(receipt.completed_at);
+            let (data, completed_at) = self.fetch_part(host, key, offset, len)?;
+            arrived_at = arrived_at.max(completed_at);
             assembled.extend_from_slice(&data);
             offset += len;
-            if bytes == 0 {
-                break;
-            }
         }
         Ok((Bytes::from(assembled), arrived_at))
+    }
+
+    /// Downloads one range over `host`'s downlink under window
+    /// backpressure, retrying transient I/O failures in place, and returns
+    /// its bytes with the simulated time they finished arriving.
+    fn fetch_part(
+        &self,
+        host: u16,
+        key: &str,
+        offset: u64,
+        len: u64,
+    ) -> Result<(Bytes, Duration)> {
+        // Hold the host's issuance lock across admit → read → record so
+        // the in-flight window bound holds under concurrent decode threads
+        // (reads are wall-instant; only simulated time is scheduled here).
+        let guard = self.issue[host as usize].lock().unwrap();
+        let not_before = self.admit(host as usize);
+        let mut attempt = 0u32;
+        let (data, receipt) = loop {
+            match self
+                .store
+                .get_part(key, offset, len, host as u32, not_before)
+            {
+                Ok(ok) => break ok,
+                Err(StorageError::Io(_)) if attempt < self.retries => {
+                    attempt += 1;
+                    self.state.lock().unwrap().retries_performed += 1;
+                    // Transient: retry the same range.
+                }
+                Err(e) => return Err(CnrError::from(e)),
+            }
+        };
+        self.record(host as usize, receipt.completed_at);
+        drop(guard);
+        Ok((data, receipt.completed_at))
     }
 
     /// Verifies an assembled object's envelope, if it has one. A short
@@ -270,6 +295,7 @@ impl<'a> FetchScheduler<'a> {
             parts_fetched: s.parts_fetched,
             backpressure_stalls: s.backpressure_stalls,
             retries_performed: s.retries_performed,
+            corruption_refetches: s.corruption_refetches,
             corruption_detected: s.corruption_detected,
             corruption_repaired: s.corruption_repaired,
         }
@@ -359,7 +385,9 @@ mod tests {
         let sched = FetchScheduler::new(&store, 1, 4, 3, Duration::ZERO);
         let (data, _) = sched.fetch_chunk(0, "obj", 100, 2).unwrap();
         assert_eq!(data.len(), 100);
-        assert_eq!(sched.poll(Duration::ZERO).retries_performed, 2);
+        let status = sched.poll(Duration::ZERO);
+        assert_eq!(status.retries_performed, 2);
+        assert_eq!(status.corruption_refetches, 0, "no healing involved");
     }
 
     #[test]
@@ -435,7 +463,11 @@ mod tests {
         let status = sched.poll(Duration::ZERO);
         assert_eq!(status.corruption_detected, 1);
         assert_eq!(status.corruption_repaired, 1);
-        assert_eq!(status.retries_performed, 1);
+        assert_eq!(status.corruption_refetches, 1);
+        assert_eq!(
+            status.retries_performed, 0,
+            "healing a rotten replica is not a transient I/O retry"
+        );
     }
 
     #[test]
@@ -462,6 +494,8 @@ mod tests {
         // Initial attempt + 2 refetches, all detected; nothing repaired.
         assert_eq!(status.corruption_detected, 3);
         assert_eq!(status.corruption_repaired, 0);
+        assert_eq!(status.corruption_refetches, 2);
+        assert_eq!(status.retries_performed, 0);
     }
 
     #[test]
@@ -482,6 +516,7 @@ mod tests {
         let status = sched.poll(Duration::ZERO);
         assert!(status.corruption_detected >= 1, "short range was caught");
         assert_eq!(status.corruption_repaired, 1);
+        assert!(status.corruption_refetches >= 1);
     }
 
     #[test]

@@ -60,6 +60,10 @@ pub struct ResumeStats {
     pub corruption_detected: u64,
     /// Corrupt chunks healed by re-fetching from another replica.
     pub corruption_repaired: u64,
+    /// Whole-chunk re-fetches performed to heal corruption, kept separate
+    /// from transient I/O retries so flaky networks and rotten replicas
+    /// stay distinguishable in the run record.
+    pub corruption_refetches: u64,
     /// Cache-tier hit rate of the restore's reads (`None` when the store
     /// has no cache tier).
     pub cache_hit_rate: Option<f64>,
@@ -259,6 +263,7 @@ mod tests {
                 bytes_fetched: 1 << 20,
                 corruption_detected: 2,
                 corruption_repaired: 2,
+                corruption_refetches: 2,
                 cache_hit_rate: Some(0.5),
             });
         }

@@ -19,7 +19,11 @@
 //!   hands its unfinished chunks back.
 //! * [`scheduler`] streams each chunk as a multipart object over the
 //!   owning host's uplink with a bounded in-flight window, and answers the
-//!   engine's durability polls (§4.3 non-overlap without blocking).
+//!   engine's durability polls (§4.3 non-overlap without blocking). Its
+//!   upload *floor* is how overlapped checkpoints stay legal: a write
+//!   issued while the previous drain is still in flight
+//!   ([`CheckpointWriter::write_overlapping`]) quantizes immediately but
+//!   queues every part behind the previous durability point.
 //!
 //! The coordinator here ([`CheckpointWriter`]) plans the shards, fans them
 //! out over `quantize_workers` threads, re-shards the work of any host
@@ -114,12 +118,33 @@ impl<'a> CheckpointWriter<'a> {
         config: &CheckpointConfig,
         kill: Option<HostKill>,
     ) -> Result<CheckpointRecord> {
+        self.write_overlapping(snapshot, id, base, scheme, config, kill, Duration::ZERO)
+    }
+
+    /// [`CheckpointWriter::write_with_failures`] under the §4.3 relaxation:
+    /// quantization and encoding proceed immediately (they overlap the
+    /// previous checkpoint's upload drain on background CPU), but no part
+    /// of this checkpoint may start transferring before `uploads_after` —
+    /// the previous checkpoint's durability point — because uploads
+    /// themselves must never overlap.
+    #[allow(clippy::too_many_arguments)]
+    pub fn write_overlapping(
+        &self,
+        snapshot: &TrainingSnapshot,
+        id: CheckpointId,
+        base: Option<CheckpointId>,
+        scheme: QuantScheme,
+        config: &CheckpointConfig,
+        kill: Option<HostKill>,
+        uploads_after: Duration,
+    ) -> Result<CheckpointRecord> {
         let wall_start = Instant::now();
         let issue_time = snapshot.taken_at;
         let quantize_nanos = AtomicU64::new(0);
         let hosts = config.writer_hosts.max(1);
         let scheduler =
             UploadScheduler::new(self.store, hosts, config.upload_window, config.part_bytes);
+        scheduler.set_floor(uploads_after);
 
         // --- Plan: shard and chunk the delta. ---------------------------
         let shards = chunker::plan(snapshot, config);
@@ -246,7 +271,12 @@ impl<'a> CheckpointWriter<'a> {
         let manifest_bytes = manifest.encode_enveloped();
         let manifest_len = manifest_bytes.len() as u64;
         let receipt = self.store.put(&manifest_key, Bytes::from(manifest_bytes))?;
-        let completed_at = receipt.completed_at.max(scheduler.durable_at());
+        // A checkpoint is never durable before the drain it queued behind
+        // (covers the no-chunk edge case where only the manifest uploads).
+        let completed_at = receipt
+            .completed_at
+            .max(scheduler.durable_at())
+            .max(uploads_after);
 
         Ok(CheckpointRecord {
             manifest,
@@ -567,6 +597,50 @@ mod tests {
             eight.as_secs_f64() < 0.5 * one.as_secs_f64(),
             "8 uplinks must be measurably faster: 1-shard {one:?}, 8-shard {eight:?}"
         );
+    }
+
+    #[test]
+    fn overlapped_write_queues_uploads_behind_the_previous_drain() {
+        let clock = SimClock::new();
+        let store = SimulatedRemoteStore::new(
+            RemoteConfig {
+                bandwidth_bytes_per_sec: 1024.0 * 1024.0, // 1 MB/s: slow drain
+                base_latency: Duration::ZERO,
+                replication: 1,
+                channels: 1,
+            },
+            clock.clone(),
+        );
+        let snap = snapshot_after(2, CheckpointKind::Full);
+        let writer = CheckpointWriter::new(&store, "job");
+        let cfg = CheckpointConfig::default();
+        let first = writer
+            .write(&snap, CheckpointId(0), None, QuantScheme::Fp32, &cfg)
+            .unwrap();
+        assert!(first.completed_at > clock.now(), "drain is still in flight");
+        // Without advancing the clock (training continues), issue the next
+        // checkpoint floored at the first's durability point: quantization
+        // overlaps the drain, uploads do not.
+        let second = writer
+            .write_overlapping(
+                &snap,
+                CheckpointId(1),
+                None,
+                QuantScheme::Fp32,
+                &cfg,
+                None,
+                first.completed_at,
+            )
+            .unwrap();
+        assert!(
+            second.completed_at >= first.completed_at + first.completed_at / 2,
+            "second drain must queue entirely behind the first: {:?} vs {:?}",
+            second.completed_at,
+            first.completed_at
+        );
+        // The §4.3 validity clock starts at issue time, so the latency of an
+        // overlapped checkpoint includes the drain it waited out.
+        assert!(second.write_latency >= second.completed_at - first.completed_at);
     }
 
     #[test]

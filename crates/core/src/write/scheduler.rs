@@ -34,6 +34,9 @@ pub struct UploadStatus {
 struct SchedState {
     /// Completion times of in-flight parts, one min-heap per host.
     windows: Vec<BinaryHeap<Reverse<Duration>>>,
+    /// No part may start transferring before this simulated instant (the
+    /// previous checkpoint's durability point under the §4.3 relaxation).
+    floor: Duration,
     durable_at: Duration,
     parts_uploaded: u64,
     backpressure_stalls: u64,
@@ -58,6 +61,7 @@ impl<'a> UploadScheduler<'a> {
             part_bytes,
             state: Mutex::new(SchedState {
                 windows: (0..hosts).map(|_| BinaryHeap::new()).collect(),
+                floor: Duration::ZERO,
                 durable_at: Duration::ZERO,
                 parts_uploaded: 0,
                 backpressure_stalls: 0,
@@ -102,17 +106,28 @@ impl<'a> UploadScheduler<'a> {
         }
     }
 
+    /// Forbids any part from starting before `floor` in simulated time.
+    /// The engine sets this to the *previous* checkpoint's durability
+    /// point: under the §4.3 relaxation the new interval's snapshot and
+    /// quantization overlap the old drain, but the uploads themselves
+    /// must queue behind it.
+    pub fn set_floor(&self, floor: Duration) {
+        self.state.lock().unwrap().floor = floor;
+    }
+
     /// Admits the next part on `host`'s window: returns the earliest
     /// simulated time its transfer may start. With a full window that is
-    /// the completion time of the oldest in-flight part — backpressure.
+    /// the completion time of the oldest in-flight part — backpressure —
+    /// and never earlier than the upload floor.
     fn admit(&self, host: usize) -> Duration {
         let mut s = self.state.lock().unwrap();
+        let floor = s.floor;
         if s.windows[host].len() >= self.window {
             let Reverse(earliest) = s.windows[host].pop().expect("window is non-empty");
             s.backpressure_stalls += 1;
-            earliest
+            earliest.max(floor)
         } else {
-            Duration::ZERO
+            floor
         }
     }
 
@@ -217,6 +232,23 @@ mod tests {
         let sched = UploadScheduler::new(&store, 1, 8, 1024 * 1024);
         sched.upload(0, "obj", mb(3)).unwrap();
         assert_eq!(sched.poll(Duration::ZERO).backpressure_stalls, 0);
+    }
+
+    #[test]
+    fn floored_uploads_queue_behind_the_previous_drain() {
+        // A 5 s floor (the previous checkpoint's durability point) delays
+        // the first part's start: 1 MiB at 1 MiB/s lands at 6 s, not 1 s.
+        let store = remote(1.0, 1);
+        let sched = UploadScheduler::new(&store, 1, 4, 1024 * 1024);
+        sched.set_floor(Duration::from_secs(5));
+        let (receipt, parts) = sched.upload(0, "obj", mb(1)).unwrap();
+        assert_eq!(parts, 1);
+        assert!(
+            (receipt.completed_at.as_secs_f64() - 6.0).abs() < 1e-6,
+            "floored part must start at the floor, got {:?}",
+            receipt.completed_at
+        );
+        assert!(sched.durable_at() >= Duration::from_secs(6));
     }
 
     #[test]

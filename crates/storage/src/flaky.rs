@@ -101,6 +101,10 @@ pub struct FlakyStore<S> {
     mode: FailureMode,
     /// Read-side injection; `None` leaves reads healthy (the default).
     read_mode: Option<FailureMode>,
+    /// Metadata (`head`) injection; `None` leaves metadata healthy. Kept
+    /// independent of the read counter so a test can fail exactly the size
+    /// probes while the data path stays up (or vice versa).
+    head_mode: Option<FailureMode>,
     /// Silent read corruption; `None` returns bytes faithfully.
     corruption: Option<CorruptionSpec>,
     /// When set, only keys containing this substring are eligible for
@@ -112,9 +116,11 @@ pub struct FlakyStore<S> {
     stale: Mutex<HashMap<String, Bytes>>,
     puts: AtomicU64,
     reads: AtomicU64,
+    heads: AtomicU64,
     corruptible_reads: AtomicU64,
     failures_injected: AtomicU64,
     read_failures_injected: AtomicU64,
+    head_failures_injected: AtomicU64,
     corruptions_injected: AtomicU64,
 }
 
@@ -135,14 +141,17 @@ impl<S: ObjectStore> FlakyStore<S> {
             inner,
             mode,
             read_mode: None,
+            head_mode: None,
             corruption: None,
             corrupt_key_filter: None,
             stale: Mutex::new(HashMap::new()),
             puts: AtomicU64::new(0),
             reads: AtomicU64::new(0),
+            heads: AtomicU64::new(0),
             corruptible_reads: AtomicU64::new(0),
             failures_injected: AtomicU64::new(0),
             read_failures_injected: AtomicU64::new(0),
+            head_failures_injected: AtomicU64::new(0),
             corruptions_injected: AtomicU64::new(0),
         }
     }
@@ -159,9 +168,23 @@ impl<S: ObjectStore> FlakyStore<S> {
         Self::with_mode(inner, FailureMode::Every(0)).with_corruption(spec)
     }
 
+    /// Wraps `inner` with healthy writes and reads but the given `head`
+    /// (metadata) failure mode — models a metadata service hiccup while
+    /// the data path stays up.
+    pub fn failing_heads(inner: S, mode: FailureMode) -> Self {
+        Self::with_mode(inner, FailureMode::Every(0)).with_head_mode(mode)
+    }
+
     /// Adds a read failure mode on top of the existing write mode.
     pub fn with_read_mode(mut self, mode: FailureMode) -> Self {
         self.read_mode = Some(mode);
+        self
+    }
+
+    /// Adds a `head` (metadata) failure mode on top of the existing modes.
+    /// `head` calls have their own counter, independent of reads.
+    pub fn with_head_mode(mut self, mode: FailureMode) -> Self {
+        self.head_mode = Some(mode);
         self
     }
 
@@ -192,6 +215,11 @@ impl<S: ObjectStore> FlakyStore<S> {
     /// Number of read failures injected so far.
     pub fn read_failures_injected(&self) -> u64 {
         self.read_failures_injected.load(Ordering::Relaxed)
+    }
+
+    /// Number of `head` (metadata) failures injected so far.
+    pub fn head_failures_injected(&self) -> u64 {
+        self.head_failures_injected.load(Ordering::Relaxed)
     }
 
     /// Number of silently corrupted reads served so far.
@@ -233,6 +261,22 @@ impl<S: ObjectStore> FlakyStore<S> {
             return Err(StorageError::Io(std::io::Error::new(
                 std::io::ErrorKind::TimedOut,
                 format!("injected failure on read #{n} ({key})"),
+            )));
+        }
+        Ok(())
+    }
+
+    /// Counts one `head` attempt and decides whether to inject a failure.
+    fn should_fail_head(&self, key: &str) -> Result<()> {
+        let Some(mode) = self.head_mode else {
+            return Ok(());
+        };
+        let n = self.heads.fetch_add(1, Ordering::Relaxed) + 1;
+        if Self::decide(mode, n) {
+            self.head_failures_injected.fetch_add(1, Ordering::Relaxed);
+            return Err(StorageError::Io(std::io::Error::new(
+                std::io::ErrorKind::TimedOut,
+                format!("injected failure on head #{n} ({key})"),
             )));
         }
         Ok(())
@@ -371,6 +415,7 @@ impl<S: ObjectStore> ObjectStore for FlakyStore<S> {
     }
 
     fn head(&self, key: &str) -> Result<ObjectMeta> {
+        self.should_fail_head(key)?;
         self.inner.head(key)
     }
 
@@ -632,6 +677,18 @@ mod tests {
         let (damaged, _) = store.get_part("k", 4, 4, 0, Duration::ZERO).unwrap();
         assert_ne!(damaged, Bytes::from_static(b"4567"), "read #2 corrupted");
         assert_eq!(damaged.len(), 4, "per-range flip stays inside the range");
+    }
+
+    #[test]
+    fn head_injection_is_independent_of_reads() {
+        let store = FlakyStore::failing_heads(InMemoryStore::new(), FailureMode::Every(2));
+        store.put("a", Bytes::from_static(b"abcd")).unwrap();
+        assert!(store.head("a").is_ok()); // head #1
+        assert!(store.get("a").is_ok(), "data path healthy");
+        assert!(store.head("a").is_err()); // head #2 injected
+        assert!(store.get("a").is_ok(), "reads have their own counter");
+        assert_eq!(store.head_failures_injected(), 1);
+        assert_eq!(store.read_failures_injected(), 0);
     }
 
     #[test]

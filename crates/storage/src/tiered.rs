@@ -203,6 +203,22 @@ impl<C: ObjectStore, R: ObjectStore> TieredStore<C, R> {
         resident.retain(|k| k != key);
         let _ = self.cache.delete(key);
     }
+
+    /// Best-effort population after a remote ranged read that may have
+    /// covered the whole object. The data already arrived, so nothing here
+    /// may fail the read: a `head` that errors (metadata hiccup, flaky
+    /// remote) just skips population. The size probe is also skipped when
+    /// the data itself already settles the question — a range that did not
+    /// start at offset 0, or one larger than the whole cache budget, can
+    /// never populate, so the extra remote round-trip is not paid.
+    fn maybe_cache_whole(&self, key: &str, offset: u64, data: &Bytes) {
+        if offset != 0 || data.len() as u64 > self.cache_capacity {
+            return;
+        }
+        if matches!(self.remote.head(key), Ok(meta) if meta.size == data.len() as u64) {
+            self.cache_insert(key, data.clone());
+        }
+    }
 }
 
 impl<C: ObjectStore, R: ObjectStore> ObjectStore for TieredStore<C, R> {
@@ -219,8 +235,11 @@ impl<C: ObjectStore, R: ObjectStore> ObjectStore for TieredStore<C, R> {
             self.on_hit(key);
             return Ok(data);
         }
-        let data = self.remote.get(key)?;
+        // The miss is counted before the remote read: a lookup that fell
+        // through to the remote is a miss whether or not the remote then
+        // fails, so failure injection cannot make the hit rate lie.
         self.misses.fetch_add(1, Ordering::Relaxed);
+        let data = self.remote.get(key)?;
         self.cache_insert(key, data.clone());
         Ok(data)
     }
@@ -235,11 +254,9 @@ impl<C: ObjectStore, R: ObjectStore> ObjectStore for TieredStore<C, R> {
             self.on_hit(key);
             return crate::checked_range(&data, key, offset, len);
         }
-        let data = self.remote.get_range(key, offset, len)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
-        if offset == 0 && data.len() as u64 == self.remote.head(key)?.size {
-            self.cache_insert(key, data.clone());
-        }
+        let data = self.remote.get_range(key, offset, len)?;
+        self.maybe_cache_whole(key, offset, &data);
         Ok(data)
     }
 
@@ -266,11 +283,9 @@ impl<C: ObjectStore, R: ObjectStore> ObjectStore for TieredStore<C, R> {
                 },
             ));
         }
-        let (data, receipt) = self.remote.get_part(key, offset, len, channel, not_before)?;
         self.misses.fetch_add(1, Ordering::Relaxed);
-        if offset == 0 && data.len() as u64 == self.remote.head(key)?.size {
-            self.cache_insert(key, data.clone());
-        }
+        let (data, receipt) = self.remote.get_part(key, offset, len, channel, not_before)?;
+        self.maybe_cache_whole(key, offset, &data);
         Ok((data, receipt))
     }
 
@@ -588,6 +603,57 @@ mod tests {
         // ...while a verified reassembly populates it.
         store.offer_cached("obj", clean.clone());
         assert_eq!(store.cache().get("obj").unwrap(), clean);
+    }
+
+    #[test]
+    fn head_failure_does_not_fail_a_ranged_miss() {
+        use crate::{FailureMode, FlakyStore};
+        // Remote whose data path works but whose metadata probe is down:
+        // cache population is best-effort, so the read must still succeed.
+        let remote = FlakyStore::failing_heads(InMemoryStore::new(), FailureMode::Every(1));
+        let store = TieredStore::new(InMemoryStore::new(), remote, 1 << 20);
+        store.put("obj", Bytes::from_static(b"0123456789")).unwrap();
+        store.cache_forget("obj");
+        let data = store.get_range("obj", 0, 10).unwrap();
+        assert_eq!(data, Bytes::from_static(b"0123456789"));
+        let (data, _) = store.get_part("obj", 0, 10, 0, Duration::ZERO).unwrap();
+        assert_eq!(data, Bytes::from_static(b"0123456789"));
+        // The probe could not confirm the range covered the whole object,
+        // so nothing was cached — but nothing failed either.
+        assert!(store.cache().get("obj").is_err());
+        assert_eq!(store.cache_misses(), 2);
+        assert!(store.remote().head_failures_injected() >= 2);
+    }
+
+    #[test]
+    fn partial_ranges_skip_the_size_probe_entirely() {
+        use crate::{FailureMode, FlakyStore};
+        // Every head would fail — but a range that does not start at
+        // offset 0 can never populate, so the probe is never even sent.
+        let remote = FlakyStore::failing_heads(InMemoryStore::new(), FailureMode::Every(1));
+        let store = TieredStore::new(InMemoryStore::new(), remote, 1 << 20);
+        store.put("obj", Bytes::from_static(b"0123456789")).unwrap();
+        store.cache_forget("obj");
+        assert_eq!(store.get_range("obj", 3, 4).unwrap(), Bytes::from_static(b"3456"));
+        assert_eq!(store.remote().head_failures_injected(), 0, "no probe paid");
+    }
+
+    #[test]
+    fn failed_remote_reads_still_count_as_misses() {
+        use crate::{FailureMode, FlakyStore};
+        let remote = FlakyStore::failing_reads(InMemoryStore::new(), FailureMode::Every(1));
+        let store = TieredStore::new(InMemoryStore::new(), remote, 1 << 20);
+        store.put("obj", Bytes::from_static(b"abcd")).unwrap();
+        store.cache_forget("obj");
+        assert!(store.get("obj").is_err());
+        assert!(store.get_range("obj", 0, 2).is_err());
+        assert!(store.get_part("obj", 0, 2, 0, Duration::ZERO).is_err());
+        // A lookup that fell through to the remote is a miss whether or
+        // not the remote then failed: injected failures may not inflate
+        // the hit rate.
+        assert_eq!(store.cache_misses(), 3);
+        assert_eq!(store.cache_hits(), 0);
+        assert_eq!(store.cache_hit_rate(), 0.0);
     }
 
     #[test]

@@ -159,6 +159,13 @@ fn run_cell(
                  detected and healed it ({kind:?} x {target:?})"
             );
             assert!(sharded.breakdown.corruption_repaired >= 1);
+            assert!(
+                sharded.breakdown.corruption_refetches >= sharded.breakdown.corruption_repaired,
+                "every heal rides a whole-chunk refetch (never a transient \
+                 range retry): {} refetches for {} repairs",
+                sharded.breakdown.corruption_refetches,
+                sharded.breakdown.corruption_repaired
+            );
             Outcome::Repaired
         }
         Err(CnrError::Corrupt(_)) => Outcome::TypedError,

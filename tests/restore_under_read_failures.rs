@@ -81,6 +81,10 @@ fn periodic_read_timeouts_are_absorbed_by_retries() {
     assert_eq!(sharded.report.state, snap.model, "bit-exact despite timeouts");
     assert!(store.read_failures_injected() > 0, "failures actually fired");
     assert!(sharded.fetch_status.retries_performed >= store.read_failures_injected() - 1);
+    assert_eq!(
+        sharded.fetch_status.corruption_refetches, 0,
+        "transient timeouts are range retries, never whole-chunk heals"
+    );
 }
 
 #[test]

@@ -1,9 +1,11 @@
 //! Sharded *restore* path invariants, property-tested end to end: for
 //! random models and configurations, the parallel `cnr_core::read`
 //! pipeline reconstructs exactly the state the serial restore does —
-//! across 1/2/4/7 reader hosts, including row counts that don't divide
-//! evenly and checkpoints written by a different number of writer hosts
-//! than are restoring.
+//! across 1/2/4/7 reader hosts and 1–4 decode worker threads, including
+//! row counts that don't divide evenly and checkpoints written by a
+//! different number of writer hosts than are restoring. The decode-worker
+//! dimension is the threaded-decode acceptance property: multi-threaded
+//! dequantization must be bit-identical to the serial path.
 
 use check_n_run::cluster::SimClock;
 use check_n_run::core::config::CheckpointConfig;
@@ -118,6 +120,7 @@ proptest! {
         batches in 1u64..4,
         chunk_rows in 1usize..80,
         writer_hosts in 1usize..6,
+        decode_workers in 1usize..5,
         full in 0u8..2,
     ) {
         let dim = 1usize << dim_pow;
@@ -136,12 +139,16 @@ proptest! {
                 "job",
                 id,
                 &model_cfg,
-                &RestoreOptions { reader_hosts, ..RestoreOptions::default() },
+                &RestoreOptions {
+                    reader_hosts,
+                    decode_workers,
+                    ..RestoreOptions::default()
+                },
                 Duration::ZERO,
             )
             .expect("sharded restore");
             prop_assert_eq!(&sharded.report.state, &serial.state,
-                "reader_hosts={}", reader_hosts);
+                "reader_hosts={} decode_workers={}", reader_hosts, decode_workers);
             prop_assert_eq!(sharded.report.rows_applied, serial.rows_applied);
             prop_assert_eq!(sharded.report.shards_merged, serial.shards_merged);
             prop_assert_eq!(sharded.report.bytes_read, serial.bytes_read);

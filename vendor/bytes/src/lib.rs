@@ -1,8 +1,9 @@
 //! Offline vendored stub of `bytes` 1.x.
 //!
 //! Provides the subset this workspace uses: a cheaply-cloneable immutable
-//! [`Bytes`] buffer (reference-counted, no slicing views) and the
-//! [`Buf`]/[`BufMut`] cursor traits with little-endian accessors,
+//! [`Bytes`] buffer (reference-counted, with zero-copy slicing views —
+//! [`Bytes::slice`] shares the underlying allocation exactly like upstream)
+//! and the [`Buf`]/[`BufMut`] cursor traits with little-endian accessors,
 //! implemented for `&[u8]` and `Vec<u8>` respectively. Replace the `path`
 //! dependency with the registry crate to get the real thing.
 
@@ -10,9 +11,16 @@ use std::ops::Deref;
 use std::sync::Arc;
 
 /// A cheaply cloneable, immutable byte buffer.
-#[derive(Clone, Default, PartialEq, Eq, Hash)]
+///
+/// A `Bytes` is a view (`offset`, `len`) into a shared reference-counted
+/// allocation: `clone` and [`Bytes::slice`] are O(1) and never copy the
+/// payload. Equality and hashing are defined over the viewed bytes, not the
+/// backing allocation.
+#[derive(Clone, Default)]
 pub struct Bytes {
     data: Arc<[u8]>,
+    offset: usize,
+    len: usize,
 }
 
 impl Bytes {
@@ -21,39 +29,47 @@ impl Bytes {
         Self::default()
     }
 
+    fn from_arc(data: Arc<[u8]>) -> Self {
+        let len = data.len();
+        Self {
+            data,
+            offset: 0,
+            len,
+        }
+    }
+
     /// Creates a buffer from a static slice.
     ///
     /// Unlike upstream this copies once; all call sites in this workspace
     /// use small literals.
     pub fn from_static(bytes: &'static [u8]) -> Self {
-        Self { data: bytes.into() }
+        Self::from_arc(bytes.into())
     }
 
     /// Copies a slice into a new buffer.
     pub fn copy_from_slice(data: &[u8]) -> Self {
-        Self { data: data.into() }
+        Self::from_arc(data.into())
     }
 
     /// Length in bytes.
     pub fn len(&self) -> usize {
-        self.data.len()
+        self.len
     }
 
     /// Whether the buffer is empty.
     pub fn is_empty(&self) -> bool {
-        self.data.is_empty()
+        self.len == 0
     }
 
     /// Copies the contents into a fresh `Vec`.
     pub fn to_vec(&self) -> Vec<u8> {
-        self.data.to_vec()
+        self[..].to_vec()
     }
 
     /// Returns the subrange `range` as a new buffer.
     ///
-    /// Upstream returns a zero-copy view into the same allocation; this
-    /// stub copies the subrange (call sites slice an upload into parts
-    /// exactly once, so the copy is bounded by the payload size).
+    /// Zero-copy, like upstream: the returned buffer is a narrowed view
+    /// into the same reference-counted allocation.
     pub fn slice(&self, range: impl std::ops::RangeBounds<usize>) -> Self {
         use std::ops::Bound;
         let start = match range.start_bound() {
@@ -64,15 +80,17 @@ impl Bytes {
         let end = match range.end_bound() {
             Bound::Included(&n) => n + 1,
             Bound::Excluded(&n) => n,
-            Bound::Unbounded => self.len(),
+            Bound::Unbounded => self.len,
         };
         assert!(
-            start <= end && end <= self.len(),
+            start <= end && end <= self.len,
             "slice {start}..{end} out of bounds of {}",
-            self.len()
+            self.len
         );
         Self {
-            data: self.data[start..end].into(),
+            data: Arc::clone(&self.data),
+            offset: self.offset + start,
+            len: end - start,
         }
     }
 }
@@ -81,19 +99,37 @@ impl Deref for Bytes {
     type Target = [u8];
 
     fn deref(&self) -> &[u8] {
-        &self.data
+        &self.data[self.offset..self.offset + self.len]
     }
 }
 
 impl AsRef<[u8]> for Bytes {
     fn as_ref(&self) -> &[u8] {
-        &self.data
+        self
+    }
+}
+
+// The derived implementations would compare/hash the view fields, which
+// must not distinguish two buffers holding the same bytes at different
+// offsets — define them over the viewed slice instead.
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self[..] == other[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+impl std::hash::Hash for Bytes {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self[..].hash(state);
     }
 }
 
 impl From<Vec<u8>> for Bytes {
     fn from(v: Vec<u8>) -> Self {
-        Self { data: v.into() }
+        Self::from_arc(v.into())
     }
 }
 
@@ -244,5 +280,39 @@ mod tests {
         let b = a.clone();
         assert_eq!(&a[..], &b[..]);
         assert_eq!(a.to_vec(), vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn slice_is_a_zero_copy_view() {
+        let a = Bytes::from(vec![0u8, 1, 2, 3, 4, 5, 6, 7]);
+        let s = a.slice(2..6);
+        assert_eq!(&s[..], &[2, 3, 4, 5]);
+        // Same allocation, not a copy: the view points into `a`'s storage.
+        assert!(std::ptr::eq(s.as_ref().as_ptr(), a[2..6].as_ptr()));
+        // Nested slices compose offsets.
+        let t = s.slice(1..3);
+        assert_eq!(&t[..], &[3, 4]);
+        assert!(std::ptr::eq(t.as_ref().as_ptr(), a[3..5].as_ptr()));
+        // Bounds still hold on views.
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.slice(..).len(), 4);
+        assert!(s.slice(4..4).is_empty());
+    }
+
+    #[test]
+    fn equality_and_hash_are_content_based() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let a = Bytes::from(vec![9u8, 1, 2, 3, 9]);
+        let view = a.slice(1..4);
+        let fresh = Bytes::from(vec![1u8, 2, 3]);
+        // Same bytes at different offsets in different allocations.
+        assert_eq!(view, fresh);
+        let mut h1 = DefaultHasher::new();
+        view.hash(&mut h1);
+        let mut h2 = DefaultHasher::new();
+        fresh.hash(&mut h2);
+        assert_eq!(h1.finish(), h2.finish());
+        assert_ne!(view, a);
     }
 }
