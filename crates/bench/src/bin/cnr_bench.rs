@@ -11,9 +11,10 @@
 //! quick mode shrinks the decode workload and round counts so CI can
 //! regenerate in seconds. Simulated (`simulated_us`) records are identical
 //! in both modes and on every machine; wall-clock (`ns`) records are only
-//! comparable within one machine's history.
+//! comparable within one machine's history, so each document carries a
+//! `machine` block (cores/os/arch) identifying the emitter.
 
-use cnr_bench::trajectory::{quant_records, restore_records, to_json};
+use cnr_bench::trajectory::{quant_records, restore_records, to_json, MachineInfo};
 use std::path::PathBuf;
 
 fn main() {
@@ -38,15 +39,19 @@ fn main() {
     let mode = if quick { "quick" } else { "full" };
     std::fs::create_dir_all(&out_dir).expect("create --out-dir");
 
+    // Wall-clock records are only interpretable next to the machine that
+    // produced them; the emitted documents say which one.
+    let machine = MachineInfo::current();
+
     let restore = restore_records(quick);
     let restore_path = out_dir.join("BENCH_restore.json");
-    std::fs::write(&restore_path, to_json("restore", mode, &restore))
+    std::fs::write(&restore_path, to_json("restore", mode, &machine, &restore))
         .expect("write BENCH_restore.json");
     println!("wrote {} ({} records)", restore_path.display(), restore.len());
 
     let quant = quant_records(quick);
     let quant_path = out_dir.join("BENCH_quant.json");
-    std::fs::write(&quant_path, to_json("quant", mode, &quant))
+    std::fs::write(&quant_path, to_json("quant", mode, &machine, &quant))
         .expect("write BENCH_quant.json");
     println!("wrote {} ({} records)", quant_path.display(), quant.len());
 }

@@ -15,7 +15,11 @@
 //! * `simulated_us` values come off the [`SimClock`] and are exactly
 //!   reproducible anywhere;
 //! * `ns`/`ns_per_row` values are wall-clock on the emitting machine and
-//!   are comparable only against the same file's history.
+//!   are comparable only against the same file's history — which is why
+//!   every emitted document carries a [`MachineInfo`] block (core count,
+//!   OS, arch): a cross-machine diff of wall-clock records is noise, and
+//!   the block makes that visible in review (e.g. a 1-core emitter can
+//!   never show a threaded-decode win).
 //!
 //! The JSON is hand-rolled (the workspace vendors no serde_json): flat
 //! records, stable ids, three decimals, so diffs stay reviewable.
@@ -60,12 +64,47 @@ impl BenchRecord {
     }
 }
 
-/// Serializes a record set as the checked-in JSON document.
-pub fn to_json(suite: &str, mode: &str, records: &[BenchRecord]) -> String {
+/// The machine a record set's wall-clock values were measured on.
+/// `simulated_us` records are machine-independent; `ns` / `ns_per_row`
+/// records are only interpretable next to this block (a 1-core emitter
+/// can never show a threaded-decode win, and core-count changes explain
+/// ordering flips in the checked-in history).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineInfo {
+    /// `std::thread::available_parallelism` on the emitting machine.
+    pub cores: usize,
+    /// `std::env::consts::OS`.
+    pub os: &'static str,
+    /// `std::env::consts::ARCH`.
+    pub arch: &'static str,
+}
+
+impl MachineInfo {
+    /// Describes the machine the current process runs on.
+    pub fn current() -> Self {
+        Self {
+            cores: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            os: std::env::consts::OS,
+            arch: std::env::consts::ARCH,
+        }
+    }
+}
+
+/// Serializes a record set as the checked-in JSON document. `machine`
+/// describes where the wall-clock records were measured.
+pub fn to_json(suite: &str, mode: &str, machine: &MachineInfo, records: &[BenchRecord]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str(&format!("  \"suite\": \"{}\",\n", escape(suite)));
     out.push_str(&format!("  \"mode\": \"{}\",\n", escape(mode)));
+    out.push_str(&format!(
+        "  \"machine\": {{ \"cores\": {}, \"os\": \"{}\", \"arch\": \"{}\" }},\n",
+        machine.cores,
+        escape(machine.os),
+        escape(machine.arch)
+    ));
     out.push_str("  \"records\": [\n");
     for (i, r) in records.iter().enumerate() {
         let comma = if i + 1 < records.len() { "," } else { "" };
@@ -322,14 +361,23 @@ mod tests {
             BenchRecord::new("a/b=1", 12.3456, "ns"),
             BenchRecord::new("quote\"back\\slash", 0.0, "simulated_us"),
         ];
-        let json = to_json("restore", "quick", &records);
+        let machine = MachineInfo {
+            cores: 4,
+            os: "linux",
+            arch: "x86_64",
+        };
+        let json = to_json("restore", "quick", &machine, &records);
         assert!(json.starts_with("{\n"));
         assert!(json.ends_with("]\n}\n"));
         assert!(json.contains("\"suite\": \"restore\""));
+        assert!(json.contains(
+            "\"machine\": { \"cores\": 4, \"os\": \"linux\", \"arch\": \"x86_64\" }"
+        ));
         assert!(json.contains("\"id\": \"a/b=1\", \"value\": 12.346, \"unit\": \"ns\""));
         assert!(json.contains("quote\\\"back\\\\slash"));
-        // Exactly one comma between the two records, none after the last.
-        assert_eq!(json.matches("},\n").count(), 1);
+        // Exactly one comma between the two records (the other `},` closes
+        // the machine block), none after the last record.
+        assert_eq!(json.matches("},\n").count(), 2);
         assert!(json.contains("\" }\n  ]"));
     }
 

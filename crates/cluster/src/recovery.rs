@@ -51,6 +51,16 @@ impl RecoveryAccounting {
 /// of the recovery pipeline took before the job was ready to train again.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct ResumeBreakdown {
+    /// Simulated time between the failure instant and the durability point
+    /// of the checkpoint being restored. With overlapped interval
+    /// boundaries a failure can land while the newest checkpoint's upload
+    /// drain is still in flight; the engine assumes the decoupled upload
+    /// path outlives the preempted job (§4.3/§4.4 relaxation, documented
+    /// on `Engine::simulate_failure_and_restore`) and waits the drain out
+    /// — this field makes that wait explicit in time-to-resume instead of
+    /// silently shifting the resume clock. Zero when the checkpoint was
+    /// already durable at the failure instant.
+    pub drain_wait: Duration,
     /// Simulated time the parallel chunk fetch occupied the reader hosts'
     /// downlinks (the bandwidth-bound stage that sharding attacks).
     pub fetch: Duration,
@@ -83,10 +93,11 @@ pub struct ResumeBreakdown {
 }
 
 impl ResumeBreakdown {
-    /// Total time-to-resume: the simulated fetch plus the CPU-bound decode
-    /// and merge stages.
+    /// Total time-to-resume: any wait for the restored checkpoint's upload
+    /// drain, plus the simulated fetch, plus the CPU-bound decode and
+    /// merge stages.
     pub fn time_to_resume(&self) -> Duration {
-        self.fetch + self.decode + self.merge
+        self.drain_wait + self.fetch + self.decode + self.merge
     }
 }
 
@@ -315,6 +326,7 @@ mod tests {
 
     fn breakdown(fetch_s: u64, decode_ms: u64, merge_ms: u64) -> ResumeBreakdown {
         ResumeBreakdown {
+            drain_wait: Duration::ZERO,
             fetch: Duration::from_secs(fetch_s),
             decode: Duration::from_millis(decode_ms),
             merge: Duration::from_millis(merge_ms),
@@ -333,6 +345,12 @@ mod tests {
     fn breakdown_totals_all_stages() {
         let b = breakdown(10, 500, 250);
         assert_eq!(b.time_to_resume(), Duration::from_millis(10_750));
+        // A failure that lands mid-drain pays the wait in time-to-resume.
+        let waited = ResumeBreakdown {
+            drain_wait: Duration::from_secs(2),
+            ..b
+        };
+        assert_eq!(waited.time_to_resume(), Duration::from_millis(12_750));
     }
 
     #[test]

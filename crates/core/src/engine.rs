@@ -445,6 +445,25 @@ impl Engine {
     /// ([`EngineBuilder::restore_failure_model`]), a reader host may die
     /// mid-restore; its remaining chunks re-shard onto the survivors.
     /// Returns the restore report.
+    ///
+    /// # Failures that land mid-drain (§4.4 relaxation)
+    ///
+    /// With overlapped interval boundaries (§4.3) the failure instant can
+    /// fall while the newest checkpoint's upload drain is still in flight
+    /// — strictly, that checkpoint "does not exist yet" (§4.4). The engine
+    /// models the upload path as decoupled from the training job (the
+    /// in-flight drain completes even though the trainers died, as with an
+    /// external uploader service), so the restore targets the newest
+    /// checkpoint and *waits out* its drain. That wait is not hidden: it
+    /// is charged to time-to-resume as
+    /// [`ResumeBreakdown::drain_wait`](cnr_cluster::ResumeBreakdown) /
+    /// [`ResumeStats::drain_wait`](crate::stats::ResumeStats), and the
+    /// recovery event is recorded at the true failure instant. The
+    /// alternative — falling back to the newest checkpoint durable at the
+    /// failure instant — is unrepresentable under default retention
+    /// (`retained_chains: 1` deletes the predecessor chain at
+    /// registration), so the engine makes the drain-survival assumption
+    /// explicit instead of silently shifting the resume clock.
     pub fn simulate_failure_and_restore(&mut self) -> Result<RestoreReport> {
         let kill = self.sample_reader_kill();
         self.restore_inner(kill)
@@ -485,8 +504,13 @@ impl Engine {
         let model_cfg: ModelConfig = self.trainer.model().config().clone();
         // §4.4 validity: the newest checkpoint only *exists* once all of
         // its uploads are durable. With overlapped boundaries a drain may
-        // still be in flight at the failure instant, so the resume clock
-        // starts at the durability point — reads must not race the drain.
+        // still be in flight at the failure instant; the decoupled upload
+        // path outlives the job (see `simulate_failure_and_restore` docs),
+        // so the restore waits the drain out — and charges that wait to
+        // time-to-resume as `drain_wait` instead of hiding it by starting
+        // the resume clock at the durability point.
+        let failed_at = self.clock.now();
+        let drain_wait = self.uploads_durable_at.saturating_sub(failed_at);
         self.clock.advance_to(self.uploads_durable_at);
         let started_at = self.clock.now();
         let options = self.config.restore_options();
@@ -528,13 +552,17 @@ impl Engine {
         // last reader host's last range arrived.
         self.clock.advance_to(sharded.ready_at);
 
-        // Record the time-to-resume breakdown at both accounting layers.
-        let breakdown = sharded.breakdown;
-        self.recovery.record(started_at, breakdown);
+        // Record the time-to-resume breakdown at both accounting layers,
+        // timestamped at the true failure instant (not the durability
+        // point), with any drain wait explicit in the breakdown.
+        let mut breakdown = sharded.breakdown;
+        breakdown.drain_wait = drain_wait;
+        self.recovery.record(failed_at, breakdown);
         self.stats.push_resume(ResumeStats {
             resume: self.restores,
             checkpoint: latest,
             reader_hosts: breakdown.reader_hosts,
+            drain_wait: breakdown.drain_wait,
             fetch: breakdown.fetch,
             decode: breakdown.decode,
             merge: breakdown.merge,
@@ -775,6 +803,43 @@ mod tests {
     }
 
     #[test]
+    fn mid_drain_failure_charges_the_drain_wait_to_time_to_resume() {
+        let mut e = builder().build().unwrap();
+        e.train_batches(10).unwrap();
+        // The boundary checkpoint's upload drain far outlasts the few
+        // milliseconds of simulated training, so this failure lands
+        // mid-drain by construction.
+        let failed_at = e.clock().now();
+        let backlog = e.upload_backlog();
+        assert!(backlog > Duration::ZERO, "failure must land mid-drain");
+        e.simulate_failure_and_restore().unwrap();
+        let resume = e.stats().resumes.last().unwrap();
+        assert_eq!(resume.drain_wait, backlog, "wait made explicit");
+        assert_eq!(
+            resume.time_to_resume,
+            resume.drain_wait + resume.fetch + resume.decode + resume.merge,
+            "drain wait is part of time-to-resume, not hidden before it"
+        );
+        let event = e.recovery().events().last().unwrap();
+        assert_eq!(
+            event.at, failed_at,
+            "recovery event timestamped at the failure instant, not the \
+             durability point"
+        );
+        assert_eq!(event.breakdown.drain_wait, backlog);
+        // A failure after the drain has fully settled pays no drain wait.
+        let mut settled = builder().build().unwrap();
+        settled.train_batches(10).unwrap();
+        settled.clock().advance(Duration::from_secs(3600));
+        assert_eq!(settled.upload_backlog(), Duration::ZERO);
+        settled.simulate_failure_and_restore().unwrap();
+        assert_eq!(
+            settled.stats().resumes.last().unwrap().drain_wait,
+            Duration::ZERO
+        );
+    }
+
+    #[test]
     fn restore_without_checkpoint_errors() {
         let mut e = builder().build().unwrap();
         assert!(matches!(
@@ -971,7 +1036,10 @@ mod tests {
         assert_eq!(r.reader_hosts, 4);
         assert!(r.bytes_fetched > 0);
         assert!(r.fetch > Duration::ZERO, "remote fetch takes simulated time");
-        assert_eq!(r.time_to_resume, r.fetch + r.decode + r.merge);
+        assert_eq!(
+            r.time_to_resume,
+            r.drain_wait + r.fetch + r.decode + r.merge
+        );
         // The cluster-layer coordinator saw the same event.
         assert_eq!(e.recovery().resumes(), 1);
         assert_eq!(

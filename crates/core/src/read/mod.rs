@@ -245,6 +245,10 @@ pub fn restore_sharded_with_failures(
         _ => None,
     };
     let breakdown = ResumeBreakdown {
+        // The restore pipeline starts at `started_at`; any wait between
+        // the failure instant and that point (an in-flight upload drain)
+        // is the engine's to account — it fills this in.
+        drain_wait: Duration::ZERO,
         fetch: ready_at.saturating_sub(started_at),
         decode: Duration::from_nanos(decode_nanos.load(Ordering::Relaxed)),
         merge: merge_time,

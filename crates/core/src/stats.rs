@@ -46,13 +46,17 @@ pub struct ResumeStats {
     pub checkpoint: CheckpointId,
     /// Reader hosts that fetched the chain in parallel.
     pub reader_hosts: usize,
-    /// Simulated time the sharded fetch took (failure instant → last byte).
+    /// Simulated wait between the failure instant and the restored
+    /// checkpoint's durability point (zero when it was already durable —
+    /// see [`ResumeBreakdown::drain_wait`](cnr_cluster::ResumeBreakdown)).
+    pub drain_wait: Duration,
+    /// Simulated time the sharded fetch took (restore start → last byte).
     pub fetch: Duration,
     /// CPU time spent decoding + de-quantizing chunks.
     pub decode: Duration,
     /// CPU time spent merging decoded rows into model state.
     pub merge: Duration,
-    /// Total time-to-resume (fetch + decode + merge).
+    /// Total time-to-resume (drain wait + fetch + decode + merge).
     pub time_to_resume: Duration,
     /// Logical bytes fetched (chunks + manifests).
     pub bytes_fetched: u64,
@@ -256,6 +260,7 @@ mod tests {
                 resume: i as u32,
                 checkpoint: CheckpointId(i as u64),
                 reader_hosts: 4,
+                drain_wait: Duration::ZERO,
                 fetch: Duration::from_secs(*fetch_s),
                 decode: Duration::from_millis(500),
                 merge: Duration::from_millis(500),
