@@ -1,5 +1,5 @@
-//! Emits the checked-in bench-trajectory files `BENCH_restore.json` and
-//! `BENCH_quant.json` at the repo root.
+//! Emits the checked-in bench-trajectory files `BENCH_restore.json`,
+//! `BENCH_quant.json`, and `BENCH_wal.json` at the repo root.
 //!
 //! ```text
 //! cargo run --release -p cnr_bench --bin cnr_bench            # full mode
@@ -14,7 +14,7 @@
 //! comparable within one machine's history, so each document carries a
 //! `machine` block (cores/os/arch) identifying the emitter.
 
-use cnr_bench::trajectory::{quant_records, restore_records, to_json, MachineInfo};
+use cnr_bench::trajectory::{quant_records, restore_records, to_json, wal_records, MachineInfo};
 use std::path::PathBuf;
 
 fn main() {
@@ -54,4 +54,10 @@ fn main() {
     std::fs::write(&quant_path, to_json("quant", mode, &machine, &quant))
         .expect("write BENCH_quant.json");
     println!("wrote {} ({} records)", quant_path.display(), quant.len());
+
+    let wal = wal_records(quick);
+    let wal_path = out_dir.join("BENCH_wal.json");
+    std::fs::write(&wal_path, to_json("wal", mode, &machine, &wal))
+        .expect("write BENCH_wal.json");
+    println!("wrote {} ({} records)", wal_path.display(), wal.len());
 }

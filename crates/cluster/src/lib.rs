@@ -30,6 +30,8 @@ pub mod scrub;
 pub use clock::SimClock;
 pub use failure::{FailureModel, HostKill, TtfSample};
 pub use job::{JobId, JobPriority, TrainingJob};
-pub use recovery::{RecoveryAccounting, RecoveryCoordinator, RecoveryEvent, ResumeBreakdown};
+pub use recovery::{
+    RecoveryAccounting, RecoveryCoordinator, RecoveryEvent, RestorePoint, ResumeBreakdown,
+};
 pub use scheduler::{ClusterFleet, JobOutcome, Scheduler};
 pub use scrub::{ScrubFindings, ScrubScheduler, ScrubSweep};

@@ -47,6 +47,18 @@ impl RecoveryAccounting {
     }
 }
 
+/// Where a recovery landed the job, relative to the failure instant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RestorePoint {
+    /// Restored to the last full checkpoint; everything trained since is
+    /// lost (the paper's baseline recovery semantics).
+    Checkpoint,
+    /// Restored to the last full checkpoint *plus* the replayed tail of
+    /// the delta WAL — lost work collapses to at most the iterations after
+    /// the last durable log frame.
+    WalTip,
+}
+
 /// Time-to-resume accounting of one sharded restore: how long each stage
 /// of the recovery pipeline took before the job was ready to train again.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -90,14 +102,26 @@ pub struct ResumeBreakdown {
     /// Cache-tier hit rate of the restore's reads, when the store has a
     /// cache tier ([`TieredStore`](../../cnr_storage/struct.TieredStore.html)).
     pub cache_hit_rate: Option<f64>,
+    /// Where this recovery landed: the bare checkpoint, or the WAL tip.
+    pub restore_point: RestorePoint,
+    /// Simulated time spent replaying the delta-WAL tail (zero when the
+    /// WAL is disabled or empty).
+    pub wal_replay: Duration,
+    /// Iterations recovered by replaying the WAL on top of the checkpoint.
+    pub wal_replayed_iterations: u64,
+    /// Iterations of training lost despite recovery: the gap between the
+    /// model iteration at the failure instant and the restored iteration.
+    /// With the WAL enabled and synced per iteration this is ≤ 1; without
+    /// it, up to a whole checkpoint interval.
+    pub lost_iterations: u64,
 }
 
 impl ResumeBreakdown {
     /// Total time-to-resume: any wait for the restored checkpoint's upload
     /// drain, plus the simulated fetch, plus the CPU-bound decode and
-    /// merge stages.
+    /// merge stages, plus any WAL tail replay.
     pub fn time_to_resume(&self) -> Duration {
-        self.drain_wait + self.fetch + self.decode + self.merge
+        self.drain_wait + self.fetch + self.decode + self.merge + self.wal_replay
     }
 }
 
@@ -338,6 +362,10 @@ mod tests {
             corruption_repaired: 0,
             corruption_refetches: 0,
             cache_hit_rate: None,
+            restore_point: RestorePoint::Checkpoint,
+            wal_replay: Duration::ZERO,
+            wal_replayed_iterations: 0,
+            lost_iterations: 0,
         }
     }
 
@@ -351,6 +379,14 @@ mod tests {
             ..b
         };
         assert_eq!(waited.time_to_resume(), Duration::from_millis(12_750));
+        // WAL tail replay is part of time-to-resume too.
+        let replayed = ResumeBreakdown {
+            wal_replay: Duration::from_millis(250),
+            restore_point: RestorePoint::WalTip,
+            wal_replayed_iterations: 7,
+            ..b
+        };
+        assert_eq!(replayed.time_to_resume(), Duration::from_millis(11_000));
     }
 
     #[test]

@@ -36,6 +36,72 @@ pub enum QuantMode {
     },
 }
 
+/// Per-iteration delta WAL between full checkpoints (off by default).
+///
+/// When enabled, every training iteration appends the touched-row delta to
+/// a segmented, CRC-framed log (`cnr_storage::wal`); restore replays the
+/// log tail on top of the last full checkpoint, collapsing lost work from
+/// a checkpoint interval to at most one iteration (Checkmate-style).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeltaWalConfig {
+    /// Rotate to a new log segment once the current one reaches this size.
+    pub segment_bytes: u64,
+    /// Sync (make durable) every N appends; `1` loses at most the
+    /// iteration that was mid-append when the process died, larger values
+    /// trade durability for fewer sync round-trips.
+    pub sync_every: u32,
+    /// Fixed simulated latency charged per sync — the log device's fsync
+    /// round-trip. Charged to the training clock, so it shows up in the
+    /// steady-state overhead the paper's 6–17% band is about.
+    pub sync_latency: Duration,
+    /// Simulated log-device append bandwidth (bytes/s) for the newly
+    /// synced frame bytes. The object-store re-put of the whole segment is
+    /// an implementation artifact of the simulated store; a real WAL
+    /// device appends, so time is charged for appended bytes only.
+    pub append_bandwidth: f64,
+}
+
+impl Default for DeltaWalConfig {
+    fn default() -> Self {
+        Self {
+            segment_bytes: 1 << 20,
+            sync_every: 1,
+            sync_latency: Duration::from_micros(10),
+            append_bandwidth: 1.0e9,
+        }
+    }
+}
+
+impl DeltaWalConfig {
+    /// Validates the configuration.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.segment_bytes == 0 {
+            return Err("wal segment_bytes must be positive".into());
+        }
+        if self.sync_every == 0 {
+            return Err("wal sync_every must be positive".into());
+        }
+        if self.append_bandwidth <= 0.0 {
+            return Err("wal append bandwidth must be positive".into());
+        }
+        Ok(())
+    }
+
+    /// The storage-layer writer configuration this implies.
+    pub fn writer_config(&self) -> cnr_storage::WalConfig {
+        cnr_storage::WalConfig {
+            segment_bytes: self.segment_bytes,
+            sync_every: self.sync_every,
+        }
+    }
+
+    /// Simulated time one sync costs for `appended_bytes` of new frames.
+    pub fn sync_cost(&self, appended_bytes: u64) -> Duration {
+        self.sync_latency
+            + Duration::from_secs_f64(appended_bytes as f64 / self.append_bandwidth)
+    }
+}
+
 /// Full configuration of the Check-N-Run engine.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct CheckpointConfig {
@@ -85,6 +151,10 @@ pub struct CheckpointConfig {
     pub snapshot_bandwidth_per_device: f64,
     /// Devices in the (simulated) training cluster.
     pub devices: u32,
+    /// Per-iteration delta WAL between full checkpoints; `None` (the
+    /// default) disables it and a failure loses the interval since the
+    /// last checkpoint, as in the paper.
+    pub delta_wal: Option<DeltaWalConfig>,
 }
 
 impl Default for CheckpointConfig {
@@ -104,6 +174,7 @@ impl Default for CheckpointConfig {
             retained_chains: 1,
             snapshot_bandwidth_per_device: 5.0e9,
             devices: 8,
+            delta_wal: None,
         }
     }
 }
@@ -149,6 +220,9 @@ impl CheckpointConfig {
         }
         if self.devices == 0 {
             return Err("need at least one device".into());
+        }
+        if let Some(wal) = &self.delta_wal {
+            wal.validate()?;
         }
         if let QuantMode::Fixed(s) = self.quant {
             let bits = s.bits();

@@ -32,6 +32,12 @@ pub struct CheckpointController {
     job: String,
     retained_chains: usize,
     checkpoints: BTreeMap<CheckpointId, Registered>,
+    /// Live delta-WAL segment keys (engine-reported). They are owned
+    /// objects for the orphan sweep and scrub targets via [`Self::live_keys`].
+    /// WAL keys are flat (`{job}/wal-...`, no id directory), so the sweep
+    /// would leave them alone anyway — tracking them keeps the ownership
+    /// story explicit and puts them on the scrubber's work-list.
+    wal_segments: Vec<String>,
     orphans_swept: u64,
 }
 
@@ -44,6 +50,7 @@ impl CheckpointController {
             job: job.into(),
             retained_chains,
             checkpoints: BTreeMap::new(),
+            wal_segments: Vec::new(),
             orphans_swept: 0,
         }
     }
@@ -97,6 +104,7 @@ impl CheckpointController {
             .collect();
         owned.extend(incoming.chunks.iter().map(|c| c.key.as_str()));
         owned.insert(incoming_key);
+        owned.extend(self.wal_segments.iter().map(String::as_str));
 
         let job_prefix = format!("{}/", self.job);
         let keys = self.store.list(&job_prefix)?;
@@ -149,13 +157,22 @@ impl CheckpointController {
         self.checkpoints.values().map(|r| r.bytes).sum()
     }
 
-    /// Every object key owned by a live checkpoint (chunks + manifests) —
-    /// the work-list of a background scrub sweep.
+    /// Every object key owned by a live checkpoint (chunks + manifests)
+    /// plus any unreclaimed delta-WAL segments — the work-list of a
+    /// background scrub sweep.
     pub fn live_keys(&self) -> Vec<String> {
         self.checkpoints
             .values()
             .flat_map(|r| r.keys.iter().cloned())
+            .chain(self.wal_segments.iter().cloned())
             .collect()
+    }
+
+    /// Replaces the set of live delta-WAL segment keys. The engine reports
+    /// the writer's current segments after every append sync and after
+    /// each truncation, so scrub sweeps always cover the live log.
+    pub fn set_wal_segments(&mut self, keys: Vec<String>) {
+        self.wal_segments = keys;
     }
 
     /// The restore chain of `id` (oldest first), from the registry.
@@ -477,6 +494,34 @@ mod tests {
         // Exactly the registered checkpoint's objects remain.
         let remaining = store.list("job/").unwrap();
         assert_eq!(remaining.len(), rec.manifest.chunks.len() + 1);
+    }
+
+    #[test]
+    fn wal_segments_survive_the_sweep_and_join_live_keys() {
+        let store = Arc::new(InMemoryStore::new());
+        let mut ctl = CheckpointController::new(store.clone(), "job", 1);
+        // A live WAL segment (flat key) plus genuine orphan debris.
+        let wal_key = cnr_storage::wal::segment_key("job", 0);
+        store.put(&wal_key, Bytes::from(vec![7u8; 48])).unwrap();
+        store
+            .put(
+                &Manifest::chunk_key("job", CheckpointId(0), 0, 0),
+                Bytes::from(vec![0u8; 64]),
+            )
+            .unwrap();
+        ctl.set_wal_segments(vec![wal_key.clone()]);
+
+        let (m1, k1) = store_ckpt(&store, 1, CheckpointKind::Full, None, 100);
+        ctl.register(&m1, &k1).unwrap();
+        assert_eq!(ctl.orphans_swept(), 1, "only the manifestless chunk is debris");
+        assert!(store.get(&wal_key).is_ok(), "live WAL segment survives the sweep");
+        assert!(ctl.live_keys().contains(&wal_key), "scrub work-list covers the log");
+
+        // After truncation the engine reports an empty set: gone from the
+        // work-list (but never deleted by the sweep — the writer owns
+        // deletion).
+        ctl.set_wal_segments(Vec::new());
+        assert!(!ctl.live_keys().contains(&wal_key));
     }
 
     #[test]

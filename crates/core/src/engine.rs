@@ -21,8 +21,9 @@
 //!    (§6.2.1 fallback).
 
 use crate::bitwidth::BitwidthSelector;
-use crate::config::{CheckpointConfig, PolicyKind, QuantMode};
+use crate::config::{CheckpointConfig, DeltaWalConfig, PolicyKind, QuantMode};
 use crate::controller::CheckpointController;
+use crate::delta_log::DeltaRecord;
 use crate::error::{CnrError, Result};
 use crate::manifest::{CheckpointId, CheckpointKind};
 use crate::policy::PolicyEngine;
@@ -32,14 +33,15 @@ use crate::snapshot::SnapshotTaker;
 use crate::stats::{IntervalStats, ResumeStats, RunStats, ScrubStats};
 use crate::write::{CheckpointRecord, CheckpointWriter};
 use cnr_cluster::{
-    FailureModel, HostKill, RecoveryCoordinator, ScrubFindings, ScrubScheduler, SimClock,
+    FailureModel, HostKill, RecoveryCoordinator, RestorePoint, ScrubFindings, ScrubScheduler,
+    SimClock,
 };
 use cnr_model::{DlrmModel, ModelConfig, ShardPlan};
 use cnr_quant::QuantScheme;
-use cnr_reader::{ReaderConfig, ReaderMaster};
-use cnr_storage::{ObjectStore, RemoteConfig, Scrubber, SimulatedRemoteStore};
+use cnr_reader::{ReaderConfig, ReaderMaster, ReaderState};
+use cnr_storage::{wal, ObjectStore, RemoteConfig, Scrubber, SimulatedRemoteStore, WalWriter};
 use cnr_trainer::{evaluate, EvalReport, Trainer, TrainerConfig};
-use cnr_workload::{DatasetSpec, SyntheticDataset};
+use cnr_workload::{Batch, DatasetSpec, SyntheticDataset};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::sync::Arc;
@@ -162,6 +164,18 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables the per-iteration delta WAL between checkpoints: every
+    /// trained batch appends its touched-row delta (quantized with the
+    /// current checkpoint scheme) to a segmented, CRC-framed log, and
+    /// restore replays the log tail on top of the last checkpoint — a
+    /// failure then loses at most one iteration instead of the whole
+    /// interval since the last checkpoint. Off by default (the paper's
+    /// behaviour).
+    pub fn delta_wal(mut self, wal: DeltaWalConfig) -> Self {
+        self.ckpt.delta_wal = Some(wal);
+        self
+    }
+
     /// Enables background scrubbing: whenever a checkpoint interval
     /// boundary finds a sweep due (every `interval` of simulated time),
     /// the engine walks every live checkpoint object, verifies its
@@ -199,6 +213,13 @@ impl EngineBuilder {
             self.job.clone(),
             self.ckpt.retained_chains,
         );
+        let wal = self.ckpt.delta_wal.map(|w| {
+            WalWriter::new(
+                store.clone() as Arc<dyn ObjectStore>,
+                &self.job,
+                w.writer_config(),
+            )
+        });
         Ok(Engine {
             dataset,
             reader,
@@ -223,6 +244,8 @@ impl EngineBuilder {
             recovery_rng: StdRng::seed_from_u64(0x5EED_4EC0),
             last_chunk_count: 0,
             scrub_schedule: self.scrub_interval.map(ScrubScheduler::new),
+            wal,
+            wal_unsynced_bytes: 0,
         })
     }
 }
@@ -276,6 +299,11 @@ pub struct Engine {
     last_chunk_count: u32,
     /// Background-scrub cadence and sweep log; `None` disables scrubbing.
     scrub_schedule: Option<ScrubScheduler>,
+    /// Per-iteration delta WAL writer; `Some` iff `config.delta_wal` is.
+    wal: Option<WalWriter>,
+    /// Frame bytes appended since the last WAL sync — the byte count the
+    /// next sync's simulated device time is charged for.
+    wal_unsynced_bytes: u64,
 }
 
 impl Engine {
@@ -289,6 +317,7 @@ impl Engine {
             for _ in 0..run {
                 let batch = self.reader.next_batch();
                 self.trainer.train_one(&batch);
+                self.wal_append(&batch)?;
             }
             self.batches_into_interval += run;
             remaining -= run;
@@ -298,6 +327,59 @@ impl Engine {
             }
         }
         Ok(())
+    }
+
+    /// Appends the just-trained batch's delta record to the WAL. No-op
+    /// when the WAL is disabled or no checkpoint exists yet to build on (a
+    /// failure before the first checkpoint restarts from scratch anyway).
+    /// The sync's simulated log-device time is charged to the training
+    /// clock — that charge is the WAL's steady-state overhead.
+    fn wal_append(&mut self, batch: &Batch) -> Result<()> {
+        let Some(cfg) = self.config.delta_wal else {
+            return Ok(());
+        };
+        let Some(base) = self.controller.latest() else {
+            return Ok(());
+        };
+        if self.wal.is_none() {
+            return Ok(());
+        }
+        let scheme = self.current_scheme();
+        let record = DeltaRecord::capture(
+            self.trainer.model(),
+            batch,
+            &scheme,
+            base,
+            batch.index + 1,
+        );
+        let encoded = record.encode();
+        let writer = self.wal.as_mut().expect("checked above");
+        let appended_before = writer.stats().bytes_appended;
+        let receipt = writer.append(&encoded)?;
+        self.wal_unsynced_bytes += writer.stats().bytes_appended - appended_before;
+        if receipt.is_some() {
+            let cost = cfg.sync_cost(self.wal_unsynced_bytes);
+            self.wal_unsynced_bytes = 0;
+            self.clock.advance(cost);
+            self.stats.wal.sync_time += cost;
+            let live = writer.live_segments();
+            self.controller.set_wal_segments(live);
+        }
+        self.refresh_wal_stats();
+        Ok(())
+    }
+
+    /// Mirrors the WAL writer's lifetime counters into the run stats
+    /// (`sync_time` accumulates separately as each sync is charged).
+    fn refresh_wal_stats(&mut self) {
+        if let Some(w) = &self.wal {
+            let s = w.stats();
+            self.stats.wal.appends = s.appends;
+            self.stats.wal.syncs = s.syncs;
+            self.stats.wal.bytes_appended = s.bytes_appended;
+            self.stats.wal.segments_rotated = s.segments_rotated;
+            self.stats.wal.truncations = s.truncations;
+        }
     }
 
     /// Takes a checkpoint immediately (normally called at interval
@@ -378,6 +460,16 @@ impl Engine {
 
         self.controller
             .register(&record.manifest, &record.manifest_key)?;
+
+        // The registered checkpoint supersedes the delta log: truncate it
+        // so restore never replays records the checkpoint already covers.
+        if let Some(writer) = self.wal.as_mut() {
+            writer.truncate()?;
+            self.wal_unsynced_bytes = 0;
+            let live = writer.live_segments();
+            self.controller.set_wal_segments(live);
+            self.refresh_wal_stats();
+        }
 
         let full_ref = self.stats.full_reference_bytes.max(1) as f64;
         let interval = self.stats.intervals.len() as u32;
@@ -502,6 +594,9 @@ impl Engine {
     fn restore_inner(&mut self, kill: Option<HostKill>) -> Result<RestoreReport> {
         let latest = self.controller.latest().ok_or(CnrError::NothingToRestore)?;
         let model_cfg: ModelConfig = self.trainer.model().config().clone();
+        // Iteration count at the failure instant — the minuend of
+        // `lost_iterations` once the restore (and any WAL replay) lands.
+        let failed_iteration = self.trainer.model().iteration();
         // §4.4 validity: the newest checkpoint only *exists* once all of
         // its uploads are durable. With overlapped boundaries a drain may
         // still be in flight at the failure instant; the decoupled upload
@@ -541,22 +636,79 @@ impl Engine {
             PolicyKind::Consecutive | PolicyKind::FullOnly => {}
         }
 
+        // Replay the delta-WAL tail on top of the restored checkpoint:
+        // clean-prefix semantics — the storage layer already stopped at the
+        // first torn, corrupt, or out-of-sequence frame, so every record
+        // seen here is CRC-verified. Records from a stale base (segments
+        // that survived a truncation race) or at-or-below the restored
+        // iteration are skipped; the rest advance the model toward the tip.
+        let mark_replayed = matches!(
+            self.policy.kind(),
+            PolicyKind::OneShot | PolicyKind::Intermittent
+        );
+        let mut wal_replayed = 0u64;
+        let mut wal_replay_time = Duration::ZERO;
+        let mut reader_state = report.reader;
+        if self.config.delta_wal.is_some() {
+            let log = wal::replay(self.store.as_ref(), &self.job)?;
+            wal_replay_time = self.store.read_transfer_time(log.bytes_read);
+            for rec in &log.records {
+                let delta = match DeltaRecord::decode(&rec.payload) {
+                    Ok(d) => d,
+                    // CRC-clean but undecodable: treat as the tail, same
+                    // clean-prefix contract as a torn frame.
+                    Err(_) => break,
+                };
+                if delta.base != latest || delta.iteration <= self.trainer.model().iteration()
+                {
+                    continue;
+                }
+                delta.apply(self.trainer.model_mut())?;
+                if mark_replayed {
+                    // Replayed rows diverge from the baseline exactly like
+                    // trained rows do: future one-shot incrementals must
+                    // contain them.
+                    for chunk in &delta.chunks {
+                        for &row in &chunk.row_indices {
+                            self.trainer.tracker().mark(chunk.table as usize, row as usize);
+                        }
+                    }
+                }
+                reader_state = ReaderState::at(delta.reader_next);
+                wal_replayed += 1;
+            }
+        }
+
         // Rebuild the reader tier at the stored position and warm its
         // queue while the (simulated) fetch drains — reader warm-up
         // overlaps the restore instead of adding to time-to-resume.
-        self.reader = ReaderMaster::from_state(self.dataset.clone(), report.reader, self.reader_cfg);
+        self.reader = ReaderMaster::from_state(self.dataset.clone(), reader_state, self.reader_cfg);
         self.reader.preload(self.reader_cfg.queue_depth as u64);
-        self.batches_into_interval = 0;
+        // WAL records exist only since the last checkpoint (registration
+        // truncates), so the replayed count is the restored position's
+        // progress into the current interval.
+        self.batches_into_interval = wal_replayed % self.config.interval_batches;
 
         // Charge the sharded fetch to the clock: ready-to-train is when the
-        // last reader host's last range arrived.
+        // last reader host's last range arrived; the WAL tail replay reads
+        // its segments after that.
         self.clock.advance_to(sharded.ready_at);
+        self.clock.advance(wal_replay_time);
 
         // Record the time-to-resume breakdown at both accounting layers,
         // timestamped at the true failure instant (not the durability
         // point), with any drain wait explicit in the breakdown.
         let mut breakdown = sharded.breakdown;
         breakdown.drain_wait = drain_wait;
+        breakdown.wal_replay = wal_replay_time;
+        breakdown.wal_replayed_iterations = wal_replayed;
+        breakdown.lost_iterations =
+            failed_iteration.saturating_sub(self.trainer.model().iteration());
+        breakdown.restore_point = if wal_replayed > 0 {
+            RestorePoint::WalTip
+        } else {
+            RestorePoint::Checkpoint
+        };
         self.recovery.record(failed_at, breakdown);
         self.stats.push_resume(ResumeStats {
             resume: self.restores,
@@ -572,6 +724,10 @@ impl Engine {
             corruption_repaired: breakdown.corruption_repaired,
             corruption_refetches: breakdown.corruption_refetches,
             cache_hit_rate: breakdown.cache_hit_rate,
+            restore_point: breakdown.restore_point,
+            wal_replay: breakdown.wal_replay,
+            wal_replayed_iterations: breakdown.wal_replayed_iterations,
+            lost_iterations: breakdown.lost_iterations,
         });
 
         // Count against the quantization budget (§6.2.1 fallback).
@@ -1268,6 +1424,177 @@ mod tests {
         let log = e.scrub_schedule().expect("scrubbing is scheduled");
         assert_eq!(log.sweeps().len(), e.stats().scrubs.len());
         assert_eq!(log.totals(), totals);
+    }
+
+    #[test]
+    fn wal_restore_resumes_at_the_tip_losing_no_synced_work() {
+        let mut e = builder().delta_wal(DeltaWalConfig::default()).build().unwrap();
+        e.train_batches(8).unwrap(); // checkpoint at 5, then 3 logged deltas
+        let hash_at_tip = e.trainer().model().state_hash();
+        e.simulate_failure_and_restore().unwrap();
+        // Default sync_every = 1: every iteration was durable, none lost.
+        assert_eq!(e.trainer().model().iteration(), 8, "restored to the WAL tip");
+        assert_eq!(e.trainer().model().state_hash(), hash_at_tip, "bit-identical replay");
+        let r = e.stats().resumes.last().unwrap();
+        assert_eq!(r.restore_point, RestorePoint::WalTip);
+        assert_eq!(r.wal_replayed_iterations, 3);
+        assert_eq!(r.lost_iterations, 0, "a WAL-enabled failure loses ≤ 1 iteration");
+        assert!(r.wal_replay > Duration::ZERO, "replay takes simulated time");
+        assert_eq!(
+            r.time_to_resume,
+            r.drain_wait + r.fetch + r.decode + r.merge + r.wal_replay,
+            "replay is part of time-to-resume, not hidden"
+        );
+        assert_eq!(
+            e.recovery().events().last().unwrap().breakdown.restore_point,
+            RestorePoint::WalTip,
+            "cluster layer distinguishes tip restores from checkpoint restores"
+        );
+        // Writer-side accounting made it into the run stats.
+        assert_eq!(e.stats().wal.appends, 3);
+        assert_eq!(e.stats().wal.syncs, 3);
+        assert_eq!(e.stats().wal.truncations, 1);
+        assert!(e.stats().wal.sync_time > Duration::ZERO);
+        // Continuing from the replayed tip is indistinguishable from a
+        // run that never failed.
+        e.train_batches(7).unwrap();
+        let mut clean = builder().delta_wal(DeltaWalConfig::default()).build().unwrap();
+        clean.train_batches(15).unwrap();
+        assert_eq!(
+            e.trainer().model().state_hash(),
+            clean.trainer().model().state_hash()
+        );
+    }
+
+    #[test]
+    fn wal_torn_tail_loses_at_most_the_unsynced_iteration() {
+        let mut e = builder().delta_wal(DeltaWalConfig::default()).build().unwrap();
+        e.train_batches(8).unwrap();
+        // Tear the live segment mid-frame: the classic torn write — the
+        // last append died partway to the device.
+        let key = wal_segment_key(&e);
+        let buf = e.store().get(&key).unwrap();
+        e.store().put(&key, buf.slice(..buf.len() - 3)).unwrap();
+        e.simulate_failure_and_restore().unwrap();
+        assert_eq!(e.trainer().model().iteration(), 7, "clean prefix of 2 records");
+        let r = e.stats().resumes.last().unwrap();
+        assert_eq!(r.wal_replayed_iterations, 2);
+        assert_eq!(r.lost_iterations, 1, "only the torn iteration is lost");
+        assert_eq!(r.restore_point, RestorePoint::WalTip);
+        // Retraining the lost iteration converges to the clean run.
+        e.train_batches(8).unwrap();
+        let mut clean = builder().delta_wal(DeltaWalConfig::default()).build().unwrap();
+        clean.train_batches(15).unwrap();
+        assert_eq!(
+            e.trainer().model().state_hash(),
+            clean.trainer().model().state_hash()
+        );
+    }
+
+    /// The live WAL segment's key (exactly one must exist).
+    fn wal_segment_key(e: &Engine) -> String {
+        let keys: Vec<String> = e
+            .controller()
+            .live_keys()
+            .into_iter()
+            .filter(|k| cnr_storage::wal::is_wal_segment_key(k))
+            .collect();
+        assert_eq!(keys.len(), 1, "one live segment expected: {keys:?}");
+        keys.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn wal_damage_matrix_always_recovers_the_clean_prefix() {
+        // For every frame: tear the segment inside that frame, or flip a
+        // byte in it. Restore must always succeed, recover exactly the
+        // records before the damage, and report the rest as lost — typed
+        // clean-prefix recovery, never an error and never silent garbage.
+        let frame_starts = |buf: &[u8]| {
+            let mut offs = Vec::new();
+            let mut off = 0;
+            while off < buf.len() {
+                offs.push(off);
+                let pl = u32::from_le_bytes(buf[off + 8..off + 12].try_into().unwrap());
+                off += 16 + pl as usize;
+            }
+            offs
+        };
+        for frame in 0..3usize {
+            for corrupt in [false, true] {
+                let mut e =
+                    builder().delta_wal(DeltaWalConfig::default()).build().unwrap();
+                e.train_batches(8).unwrap(); // ckpt at 5 + records 6, 7, 8
+                let key = wal_segment_key(&e);
+                let buf = e.store().get(&key).unwrap().to_vec();
+                let offs = frame_starts(&buf);
+                assert_eq!(offs.len(), 3);
+                let damaged = if corrupt {
+                    let mut b = buf.clone();
+                    b[offs[frame] + 20] ^= 0x01; // payload byte inside the frame
+                    b
+                } else {
+                    buf[..offs[frame] + 5].to_vec() // torn mid-header
+                };
+                e.store().put(&key, bytes::Bytes::from(damaged)).unwrap();
+                e.simulate_failure_and_restore().unwrap();
+                let expect = 5 + frame as u64;
+                assert_eq!(
+                    e.trainer().model().iteration(),
+                    expect,
+                    "frame={frame} corrupt={corrupt}"
+                );
+                let r = e.stats().resumes.last().unwrap();
+                assert_eq!(r.wal_replayed_iterations, frame as u64);
+                assert_eq!(r.lost_iterations, 3 - frame as u64);
+                let expected_point = if frame == 0 {
+                    RestorePoint::Checkpoint
+                } else {
+                    RestorePoint::WalTip
+                };
+                assert_eq!(r.restore_point, expected_point);
+            }
+        }
+    }
+
+    #[test]
+    fn wal_collapses_wasted_work_under_injected_failures() {
+        let mut e = builder().delta_wal(DeltaWalConfig::default()).build().unwrap();
+        // Get past the first checkpoint so every failure has a base to
+        // replay onto (a pre-checkpoint failure restarts from scratch).
+        e.train_batches(5).unwrap();
+        let report = e
+            .train_with_failures(
+                60,
+                &FailureModel::Exponential {
+                    mtbf: Duration::from_secs(20),
+                },
+                Duration::from_secs(2),
+                7,
+                100,
+            )
+            .unwrap();
+        assert!(report.failures > 0, "failures must have been injected");
+        assert!(
+            report.wasted_batches <= report.failures as u64,
+            "per-iteration WAL loses at most 1 batch per failure: wasted {} over {} failures",
+            report.wasted_batches,
+            report.failures
+        );
+        // Every restore in the run reports the typed ≤1 bound too.
+        for r in &e.stats().resumes {
+            assert!(r.lost_iterations <= 1);
+        }
+    }
+
+    #[test]
+    fn scrubber_covers_live_wal_segments() {
+        let mut e = builder().delta_wal(DeltaWalConfig::default()).build().unwrap();
+        e.train_batches(8).unwrap();
+        let key = wal_segment_key(&e); // live_keys includes the segment
+        assert!(e.store().get(&key).is_ok());
+        let findings = e.scrub_now(None).unwrap();
+        assert_eq!(findings.clean, findings.scanned, "multi-frame segments verify clean");
+        assert_eq!(findings.corrupt_detected, 0);
     }
 
     #[test]

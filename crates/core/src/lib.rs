@@ -34,6 +34,7 @@ pub mod accuracy;
 pub mod bitwidth;
 pub mod config;
 pub mod controller;
+pub mod delta_log;
 pub mod engine;
 pub mod error;
 pub mod frequency;
@@ -48,13 +49,14 @@ pub mod wire;
 pub mod write;
 
 pub use bitwidth::BitwidthSelector;
-pub use config::{CheckpointConfig, PolicyKind, QuantMode};
+pub use config::{CheckpointConfig, DeltaWalConfig, PolicyKind, QuantMode};
+pub use delta_log::DeltaRecord;
 pub use engine::{Engine, EngineBuilder};
 pub use error::CnrError;
 pub use manifest::{CheckpointId, CheckpointKind, Manifest};
 pub use read::{FetchScheduler, FetchStatus, RestoreOptions, ShardedRestore};
 pub use snapshot::TrainingSnapshot;
-pub use stats::{IntervalStats, ResumeStats};
+pub use stats::{IntervalStats, ResumeStats, WalRunStats};
 pub use write::{CheckpointRecord, CheckpointWriter, UploadScheduler, UploadStatus};
 
 /// Adapter exposing an embedding table snapshot to `cnr-quant`'s

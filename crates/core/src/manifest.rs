@@ -393,8 +393,9 @@ impl ChunkPayload {
     }
 }
 
-/// Serializes a [`QuantScheme`] (tag + parameters).
-fn encode_scheme(buf: &mut Vec<u8>, scheme: &QuantScheme) {
+/// Serializes a [`QuantScheme`] (tag + parameters). Shared with the WAL
+/// delta-record codec ([`crate::delta_log`]).
+pub(crate) fn encode_scheme(buf: &mut Vec<u8>, scheme: &QuantScheme) {
     match *scheme {
         QuantScheme::Fp32 => buf.put_u8(0),
         QuantScheme::Fp16 => buf.put_u8(5),
@@ -424,7 +425,7 @@ fn encode_scheme(buf: &mut Vec<u8>, scheme: &QuantScheme) {
 }
 
 /// Parses a [`QuantScheme`].
-fn decode_scheme(b: &mut &[u8]) -> Result<QuantScheme> {
+pub(crate) fn decode_scheme(b: &mut &[u8]) -> Result<QuantScheme> {
     Ok(match wire::get_u8(b)? {
         0 => QuantScheme::Fp32,
         1 => QuantScheme::Symmetric {

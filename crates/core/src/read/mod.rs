@@ -260,6 +260,12 @@ pub fn restore_sharded_with_failures(
         corruption_repaired: fetch_status.corruption_repaired,
         corruption_refetches: fetch_status.corruption_refetches,
         cache_hit_rate,
+        // The engine replays the delta-WAL tail (if any) after the sharded
+        // restore finishes and fills these in.
+        restore_point: cnr_cluster::RestorePoint::Checkpoint,
+        wal_replay: Duration::ZERO,
+        wal_replayed_iterations: 0,
+        lost_iterations: 0,
     };
 
     Ok(ShardedRestore {

@@ -71,6 +71,35 @@ pub struct ResumeStats {
     /// Cache-tier hit rate of the restore's reads (`None` when the store
     /// has no cache tier).
     pub cache_hit_rate: Option<f64>,
+    /// Whether the job resumed at the bare checkpoint or at the WAL tip.
+    pub restore_point: cnr_cluster::RestorePoint,
+    /// Simulated time spent replaying the delta-WAL tail.
+    pub wal_replay: Duration,
+    /// Iterations recovered by WAL replay on top of the checkpoint.
+    pub wal_replayed_iterations: u64,
+    /// Iterations lost despite recovery (failure-instant iteration minus
+    /// restored iteration). ≤ 1 with a per-iteration WAL; up to a whole
+    /// interval without one.
+    pub lost_iterations: u64,
+}
+
+/// Writer-side delta-WAL accounting for a whole run (all zeros when the
+/// WAL is disabled).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct WalRunStats {
+    /// Delta records appended.
+    pub appends: u64,
+    /// Durability syncs performed.
+    pub syncs: u64,
+    /// Frame bytes appended to the log.
+    pub bytes_appended: u64,
+    /// Segment rotations.
+    pub segments_rotated: u64,
+    /// Log truncations (one per registered full checkpoint).
+    pub truncations: u64,
+    /// Simulated training time charged for syncs — the WAL's steady-state
+    /// overhead numerator.
+    pub sync_time: Duration,
 }
 
 /// Accounting for one background scrub sweep over the job's live objects.
@@ -96,6 +125,8 @@ pub struct RunStats {
     pub resumes: Vec<ResumeStats>,
     /// Per-scrub-sweep records in order.
     pub scrubs: Vec<ScrubStats>,
+    /// Writer-side delta-WAL accounting (all zeros when disabled).
+    pub wal: WalRunStats,
 }
 
 impl RunStats {
@@ -106,6 +137,7 @@ impl RunStats {
             intervals: Vec::new(),
             resumes: Vec::new(),
             scrubs: Vec::new(),
+            wal: WalRunStats::default(),
         }
     }
 
@@ -270,6 +302,10 @@ mod tests {
                 corruption_repaired: 2,
                 corruption_refetches: 2,
                 cache_hit_rate: Some(0.5),
+                restore_point: cnr_cluster::RestorePoint::Checkpoint,
+                wal_replay: Duration::ZERO,
+                wal_replayed_iterations: 0,
+                lost_iterations: 0,
             });
         }
         assert_eq!(s.resumes.len(), 2);

@@ -50,8 +50,14 @@ pub const HEADER_LEN: usize = 16;
 /// payload's own magic, the scrubber uses it for reporting).
 pub const FLAG_MANIFEST: u16 = 1 << 0;
 
+/// Flag bit: the payload is one frame of a write-ahead delta log segment.
+/// WAL segments are bare concatenations of enveloped frames, so a reader
+/// seeing this bit knows the object must be walked frame by frame (see
+/// [`crate::wal`]) rather than unwrapped as a single envelope.
+pub const FLAG_WAL_FRAME: u16 = 1 << 1;
+
 /// All flag bits a v3 reader understands; unknown bits are corruption.
-const KNOWN_FLAGS: u16 = FLAG_MANIFEST;
+const KNOWN_FLAGS: u16 = FLAG_MANIFEST | FLAG_WAL_FRAME;
 
 /// CRC-32 (IEEE 802.3, reflected, polynomial 0xEDB88320) lookup table,
 /// built at compile time so the hot verify path is a table walk.

@@ -91,6 +91,51 @@ impl CorruptionSpec {
     }
 }
 
+/// Deterministic torn-write injection for the write path.
+///
+/// A torn write models a process (or medium) dying mid-write: the store
+/// durably receives only a *prefix* of the object, and the writer never
+/// gets an acknowledgement — the `put` still returns an error. This is
+/// exactly the failure the WAL's crash-consistency contract
+/// ([`crate::wal`]) must survive: replay has to stop at the torn frame
+/// with a typed diagnosis, never decode garbage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TornWriteSpec {
+    /// Which puts get torn, by torn-eligible put count (independent of the
+    /// hard-error injection counters).
+    pub mode: FailureMode,
+    /// Cut the object at this byte offset (clamped to a strict prefix).
+    /// `None` derives a deterministic offset from `seed` and the count.
+    pub cut_bytes: Option<usize>,
+    /// Seed for derived cut offsets.
+    pub seed: u64,
+}
+
+impl TornWriteSpec {
+    /// Tears exactly the `n`-th eligible put (1-based), once.
+    pub fn once(n: u64) -> Self {
+        Self { mode: FailureMode::Once(n), cut_bytes: None, seed: 0 }
+    }
+
+    /// Tears the first `n` eligible puts.
+    pub fn first_n(n: u64) -> Self {
+        Self { mode: FailureMode::FirstN(n), cut_bytes: None, seed: 0 }
+    }
+
+    /// Same spec with an explicit cut offset (clamped to a strict prefix
+    /// of each torn object).
+    pub fn at_byte(mut self, cut: usize) -> Self {
+        self.cut_bytes = Some(cut);
+        self
+    }
+
+    /// Same spec with an explicit seed for derived cut offsets.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
 /// Wraps a store, injecting deterministic put (and optionally read)
 /// failures: failures depend only on the operation count, so tests are
 /// reproducible. Writes and reads have independent modes and counters —
@@ -107,6 +152,11 @@ pub struct FlakyStore<S> {
     head_mode: Option<FailureMode>,
     /// Silent read corruption; `None` returns bytes faithfully.
     corruption: Option<CorruptionSpec>,
+    /// Torn-write injection on whole-object puts; `None` writes faithfully.
+    torn: Option<TornWriteSpec>,
+    /// When set, only keys containing this substring are eligible for torn
+    /// writes (tear WAL segments while checkpoint writes stay healthy).
+    torn_key_filter: Option<String>,
     /// When set, only keys containing this substring are eligible for
     /// corruption (target chunks or manifests selectively).
     corrupt_key_filter: Option<String>,
@@ -118,10 +168,12 @@ pub struct FlakyStore<S> {
     reads: AtomicU64,
     heads: AtomicU64,
     corruptible_reads: AtomicU64,
+    torn_eligible_puts: AtomicU64,
     failures_injected: AtomicU64,
     read_failures_injected: AtomicU64,
     head_failures_injected: AtomicU64,
     corruptions_injected: AtomicU64,
+    torn_writes_injected: AtomicU64,
 }
 
 impl<S: ObjectStore> FlakyStore<S> {
@@ -143,16 +195,20 @@ impl<S: ObjectStore> FlakyStore<S> {
             read_mode: None,
             head_mode: None,
             corruption: None,
+            torn: None,
+            torn_key_filter: None,
             corrupt_key_filter: None,
             stale: Mutex::new(HashMap::new()),
             puts: AtomicU64::new(0),
             reads: AtomicU64::new(0),
             heads: AtomicU64::new(0),
             corruptible_reads: AtomicU64::new(0),
+            torn_eligible_puts: AtomicU64::new(0),
             failures_injected: AtomicU64::new(0),
             read_failures_injected: AtomicU64::new(0),
             head_failures_injected: AtomicU64::new(0),
             corruptions_injected: AtomicU64::new(0),
+            torn_writes_injected: AtomicU64::new(0),
         }
     }
 
@@ -194,6 +250,28 @@ impl<S: ObjectStore> FlakyStore<S> {
         self
     }
 
+    /// Wraps `inner` with otherwise-healthy writes that tear according to
+    /// `spec` (the store keeps a prefix, the caller gets an error).
+    pub fn tearing_writes(inner: S, spec: TornWriteSpec) -> Self {
+        Self::with_mode(inner, FailureMode::Every(0)).with_torn_writes(spec)
+    }
+
+    /// Adds torn-write injection on top of the existing modes. Torn writes
+    /// apply to whole-object puts only (multipart parts are already
+    /// individually abortable); they have their own eligible-put counter.
+    pub fn with_torn_writes(mut self, spec: TornWriteSpec) -> Self {
+        self.torn = Some(spec);
+        self
+    }
+
+    /// Restricts torn writes to keys containing `substring` (e.g. `"wal-"`
+    /// to tear log appends while checkpoint uploads stay healthy). Puts of
+    /// other keys neither advance the torn counter nor get torn.
+    pub fn with_torn_key_filter(mut self, substring: impl Into<String>) -> Self {
+        self.torn_key_filter = Some(substring.into());
+        self
+    }
+
     /// Restricts corruption to keys containing `substring` (e.g.
     /// `"manifest"` or `"chunk"`). Reads of other keys neither advance the
     /// corruption counter nor get damaged.
@@ -225,6 +303,11 @@ impl<S: ObjectStore> FlakyStore<S> {
     /// Number of silently corrupted reads served so far.
     pub fn corruptions_injected(&self) -> u64 {
         self.corruptions_injected.load(Ordering::Relaxed)
+    }
+
+    /// Number of torn writes injected so far.
+    pub fn torn_writes_injected(&self) -> u64 {
+        self.torn_writes_injected.load(Ordering::Relaxed)
     }
 
     fn decide(mode: FailureMode, n: u64) -> bool {
@@ -280,6 +363,40 @@ impl<S: ObjectStore> FlakyStore<S> {
             )));
         }
         Ok(())
+    }
+
+    /// Counts one torn-eligible put of `key` and, when the spec fires,
+    /// performs the tear itself: the inner store receives a strict prefix
+    /// of `data` and the caller gets the unacknowledged-write error.
+    /// Returns `None` when this put is not torn.
+    fn maybe_tear(&self, key: &str, data: &Bytes) -> Option<Result<PutReceipt>> {
+        let spec = self.torn?;
+        if let Some(filter) = &self.torn_key_filter {
+            if !key.contains(filter.as_str()) {
+                return None;
+            }
+        }
+        let n = self.torn_eligible_puts.fetch_add(1, Ordering::Relaxed) + 1;
+        if !Self::decide(spec.mode, n) {
+            return None;
+        }
+        self.torn_writes_injected.fetch_add(1, Ordering::Relaxed);
+        if !data.is_empty() {
+            // A strict prefix in [0, len): the medium kept *some* of the
+            // write but never the whole object.
+            let cut = match spec.cut_bytes {
+                Some(c) => c.min(data.len() - 1),
+                None => (Self::mix(spec.seed, n) % data.len() as u64) as usize,
+            };
+            self.remember_stale(key);
+            if let Err(e) = self.inner.put(key, data.slice(0..cut)) {
+                return Some(Err(e));
+            }
+        }
+        Some(Err(StorageError::Io(std::io::Error::new(
+            std::io::ErrorKind::ConnectionAborted,
+            format!("injected torn write on put #{n} ({key})"),
+        ))))
     }
 
     /// Deterministic position mixer (splitmix-style): maps (seed, read
@@ -377,6 +494,9 @@ impl<S: ObjectStore> FlakyStore<S> {
 impl<S: ObjectStore> ObjectStore for FlakyStore<S> {
     fn put(&self, key: &str, data: Bytes) -> Result<PutReceipt> {
         self.should_fail(key)?;
+        if let Some(torn) = self.maybe_tear(key, &data) {
+            return torn;
+        }
         self.remember_stale(key);
         self.inner.put(key, data)
     }
@@ -689,6 +809,62 @@ mod tests {
         assert!(store.get("a").is_ok(), "reads have their own counter");
         assert_eq!(store.head_failures_injected(), 1);
         assert_eq!(store.read_failures_injected(), 0);
+    }
+
+    #[test]
+    fn torn_write_keeps_a_prefix_and_errs() {
+        let store = FlakyStore::tearing_writes(
+            InMemoryStore::new(),
+            TornWriteSpec::once(2).at_byte(4),
+        );
+        store.put("k", Bytes::from_static(b"first-version")).unwrap();
+        let err = store.put("k", Bytes::from_static(b"second-version")).unwrap_err();
+        assert!(err.to_string().contains("torn write"), "{err}");
+        // The store durably holds exactly the prefix of the torn object.
+        assert_eq!(store.get("k").unwrap(), Bytes::from_static(b"seco"));
+        assert_eq!(store.torn_writes_injected(), 1);
+        // Later puts are healthy again.
+        store.put("k", Bytes::from_static(b"third-version")).unwrap();
+        assert_eq!(store.get("k").unwrap(), Bytes::from_static(b"third-version"));
+    }
+
+    #[test]
+    fn torn_write_first_n_and_derived_cut_are_deterministic() {
+        let make = || {
+            FlakyStore::tearing_writes(
+                InMemoryStore::new(),
+                TornWriteSpec::first_n(2).with_seed(11),
+            )
+        };
+        let a = make();
+        let b = make();
+        for s in [&a, &b] {
+            assert!(s.put("k1", Bytes::from_static(b"0123456789")).is_err());
+            assert!(s.put("k2", Bytes::from_static(b"abcdefghij")).is_err());
+            assert!(s.put("k3", Bytes::from_static(b"full")).is_ok());
+            assert_eq!(s.torn_writes_injected(), 2);
+        }
+        // Derived cuts are seed-deterministic and strict prefixes (a cut of
+        // zero stores an empty object — still a strict prefix).
+        for key in ["k1", "k2"] {
+            let (x, y) = (a.get(key).unwrap(), b.get(key).unwrap());
+            assert_eq!(x, y, "twins must agree on the torn prefix");
+            assert!(x.len() < 10);
+        }
+    }
+
+    #[test]
+    fn torn_key_filter_scopes_tearing() {
+        let store = FlakyStore::tearing_writes(
+            InMemoryStore::new(),
+            TornWriteSpec::once(1).at_byte(2),
+        )
+        .with_torn_key_filter("wal-");
+        // Checkpoint-ish keys don't advance the torn counter.
+        store.put("job/ckpt-1/manifest", Bytes::from_static(b"manifest")).unwrap();
+        assert!(store.put("job/wal-00000000", Bytes::from_static(b"framebytes")).is_err());
+        assert_eq!(store.get("job/wal-00000000").unwrap(), Bytes::from_static(b"fr"));
+        assert_eq!(store.torn_writes_injected(), 1);
     }
 
     #[test]

@@ -27,8 +27,9 @@ pub mod multipart;
 pub mod remote;
 pub mod scrub;
 pub mod tiered;
+pub mod wal;
 
-pub use flaky::{CorruptionKind, CorruptionSpec, FailureMode, FlakyStore};
+pub use flaky::{CorruptionKind, CorruptionSpec, FailureMode, FlakyStore, TornWriteSpec};
 pub use fs::FsStore;
 pub use memory::InMemoryStore;
 pub use metrics::{CapacityPoint, StoreMetrics};
@@ -36,6 +37,7 @@ pub use multipart::{MultipartUpload, PartReceipt};
 pub use remote::{RemoteConfig, SimulatedRemoteStore};
 pub use scrub::{ScrubReport, Scrubber};
 pub use tiered::{EvictionPolicy, TieredStore};
+pub use wal::{WalConfig, WalRecord, WalReplay, WalTail, WalWriter, WalWriterStats};
 
 use bytes::Bytes;
 use std::time::Duration;

@@ -53,8 +53,8 @@ pub use cnr_workload as workload;
 pub mod prelude {
     pub use cnr_cluster::clock::SimClock;
     pub use cnr_cluster::failure::{FailureModel, HostKill};
-    pub use cnr_cluster::recovery::{RecoveryCoordinator, ResumeBreakdown};
-    pub use cnr_core::config::{CheckpointConfig, PolicyKind, QuantMode};
+    pub use cnr_cluster::recovery::{RecoveryCoordinator, RestorePoint, ResumeBreakdown};
+    pub use cnr_core::config::{CheckpointConfig, DeltaWalConfig, PolicyKind, QuantMode};
     pub use cnr_core::engine::{Engine, EngineBuilder};
     pub use cnr_core::read::{FetchScheduler, FetchStatus, RestoreOptions, ShardedRestore};
     pub use cnr_core::write::{CheckpointWriter, UploadScheduler, UploadStatus};
@@ -62,7 +62,7 @@ pub mod prelude {
     pub use cnr_quant::QuantScheme;
     pub use cnr_storage::{
         EvictionPolicy, FailureMode, FlakyStore, InMemoryStore, MultipartUpload, ObjectStore,
-        RemoteConfig, SimulatedRemoteStore, TieredStore,
+        RemoteConfig, SimulatedRemoteStore, TieredStore, TornWriteSpec,
     };
     pub use cnr_workload::{DatasetSpec, SyntheticDataset, TableAccessSpec};
 }
