@@ -31,7 +31,8 @@ pub use clock::SimClock;
 pub use failure::{FailureModel, HostKill, TtfSample};
 pub use job::{JobId, JobPriority, TrainingJob};
 pub use recovery::{
-    RecoveryAccounting, RecoveryCoordinator, RecoveryEvent, RestorePoint, ResumeBreakdown,
+    RecoveryAccounting, RecoveryCoordinator, RecoveryEvent, RestoreMode, RestorePoint,
+    ResumeBreakdown,
 };
 pub use scheduler::{ClusterFleet, JobOutcome, Scheduler};
 pub use scrub::{ScrubFindings, ScrubScheduler, ScrubSweep};

@@ -59,6 +59,18 @@ pub enum RestorePoint {
     WalTip,
 }
 
+/// How a restore brought the model back before training resumed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum RestoreMode {
+    /// Every chunk of the chain was applied before the first batch
+    /// (all-or-nothing restore — the paper's baseline semantics).
+    Eager,
+    /// Training resumed once the dense layers and the hot top-K rows were
+    /// applied (CPR-style partial recovery); the cold tail drained in the
+    /// background, with misses fault-ing rows in on demand.
+    Lazy,
+}
+
 /// Time-to-resume accounting of one sharded restore: how long each stage
 /// of the recovery pipeline took before the job was ready to train again.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -114,6 +126,14 @@ pub struct ResumeBreakdown {
     /// With the WAL enabled and synced per iteration this is ≤ 1; without
     /// it, up to a whole checkpoint interval.
     pub lost_iterations: u64,
+    /// Time until the first training batch could run. For an eager restore
+    /// this equals [`Self::time_to_resume`]; for a lazy one it stops at the
+    /// hot set's arrival (plus decode/merge/WAL replay) while the cold tail
+    /// keeps draining past it.
+    pub time_to_first_batch: Duration,
+    /// Whether this restore was eager (all chunks before first batch) or
+    /// lazy (hot set only, cold tail deferred).
+    pub mode: RestoreMode,
 }
 
 impl ResumeBreakdown {
@@ -206,6 +226,28 @@ impl RecoveryCoordinator {
             return Duration::ZERO;
         }
         self.total_resume_time() / self.events.len() as u32
+    }
+
+    /// Number of recorded restores that resumed lazily.
+    pub fn lazy_resumes(&self) -> usize {
+        self.events
+            .iter()
+            .filter(|e| e.breakdown.mode == RestoreMode::Lazy)
+            .count()
+    }
+
+    /// Mean time-to-first-batch per restore (zero when none recorded).
+    /// Comparing this against [`Self::mean_time_to_resume`] is the lazy
+    /// restore's headline win.
+    pub fn mean_time_to_first_batch(&self) -> Duration {
+        if self.events.is_empty() {
+            return Duration::ZERO;
+        }
+        self.events
+            .iter()
+            .map(|e| e.breakdown.time_to_first_batch)
+            .sum::<Duration>()
+            / self.events.len() as u32
     }
 }
 
@@ -366,6 +408,9 @@ mod tests {
             wal_replay: Duration::ZERO,
             wal_replayed_iterations: 0,
             lost_iterations: 0,
+            time_to_first_batch: Duration::from_secs(fetch_s)
+                + Duration::from_millis(decode_ms + merge_ms),
+            mode: RestoreMode::Eager,
         }
     }
 
@@ -400,6 +445,26 @@ mod tests {
         assert_eq!(c.total_resume_time(), Duration::from_secs(12));
         assert_eq!(c.mean_time_to_resume(), Duration::from_secs(6));
         assert_eq!(c.events()[0].at, Duration::from_secs(100));
+    }
+
+    #[test]
+    fn coordinator_tracks_lazy_resumes_and_first_batch() {
+        let mut c = RecoveryCoordinator::new(FailureModel::None);
+        c.record(Duration::from_secs(1), breakdown(10, 0, 0));
+        let lazy = ResumeBreakdown {
+            mode: RestoreMode::Lazy,
+            time_to_first_batch: Duration::from_secs(2),
+            restore_point: RestorePoint::WalTip,
+            ..breakdown(10, 0, 0)
+        };
+        c.record(Duration::from_secs(5), lazy);
+        assert_eq!(c.lazy_resumes(), 1);
+        // (10s eager + 2s lazy) / 2; eager first-batch == full resume.
+        assert_eq!(c.mean_time_to_first_batch(), Duration::from_secs(6));
+        assert_eq!(c.mean_time_to_resume(), Duration::from_secs(10));
+        // Events keep both the restore point and the mode for the figures.
+        assert_eq!(c.events()[1].breakdown.restore_point, RestorePoint::WalTip);
+        assert_eq!(c.events()[1].breakdown.mode, RestoreMode::Lazy);
     }
 
     #[test]

@@ -34,6 +34,11 @@ pub struct ScrubFindings {
     pub repaired: u64,
     /// Corrupt objects no source could produce clean.
     pub unrepairable: u64,
+    /// Keys skipped because a lazy restore had fetches in flight on them
+    /// (the sweep never races an on-demand fault-in; the next sweep
+    /// revisits them).
+    #[serde(default)]
+    pub skipped_in_flight: u64,
 }
 
 impl ScrubFindings {
@@ -46,6 +51,7 @@ impl ScrubFindings {
         self.corrupt_detected += other.corrupt_detected;
         self.repaired += other.repaired;
         self.unrepairable += other.unrepairable;
+        self.skipped_in_flight += other.skipped_in_flight;
     }
 }
 

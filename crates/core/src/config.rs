@@ -155,6 +155,15 @@ pub struct CheckpointConfig {
     /// default) disables it and a failure loses the interval since the
     /// last checkpoint, as in the paper.
     pub delta_wal: Option<DeltaWalConfig>,
+    /// Lazy (CPR-style) restores: resume training as soon as the dense
+    /// layers and the top-`lazy_hot_fraction` hot rows are applied, drain
+    /// the cold tail in the background, and fault cold rows in on demand.
+    /// Off by default — eager restores apply every chunk before resuming.
+    pub lazy_restore: bool,
+    /// Fraction of embedding rows (by access heat) that must be applied
+    /// before the first batch when `lazy_restore` is set; `1.0` degenerates
+    /// to eager timing.
+    pub lazy_hot_fraction: f64,
 }
 
 impl Default for CheckpointConfig {
@@ -175,6 +184,8 @@ impl Default for CheckpointConfig {
             snapshot_bandwidth_per_device: 5.0e9,
             devices: 8,
             delta_wal: None,
+            lazy_restore: false,
+            lazy_hot_fraction: 0.1,
         }
     }
 }
@@ -224,6 +235,9 @@ impl CheckpointConfig {
         if let Some(wal) = &self.delta_wal {
             wal.validate()?;
         }
+        if !self.lazy_hot_fraction.is_finite() || !(0.0..=1.0).contains(&self.lazy_hot_fraction) {
+            return Err("lazy_hot_fraction must lie in [0, 1]".into());
+        }
         if let QuantMode::Fixed(s) = self.quant {
             let bits = s.bits();
             if bits != 32 && bits != 16 && !(1..=8).contains(&bits) {
@@ -242,6 +256,8 @@ impl CheckpointConfig {
             fetch_window: self.fetch_window,
             decode_workers: self.quantize_workers,
             fetch_retries: self.fetch_retries,
+            lazy: self.lazy_restore,
+            hot_fraction: self.lazy_hot_fraction,
         }
     }
 
@@ -315,6 +331,14 @@ mod tests {
             },
             CheckpointConfig {
                 fetch_window: 0,
+                ..CheckpointConfig::default()
+            },
+            CheckpointConfig {
+                lazy_hot_fraction: -0.5,
+                ..CheckpointConfig::default()
+            },
+            CheckpointConfig {
+                lazy_hot_fraction: 2.0,
                 ..CheckpointConfig::default()
             },
         ] {

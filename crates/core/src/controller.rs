@@ -278,6 +278,9 @@ mod tests {
                 rows: 10,
                 bytes: chunk_bytes as u64,
                 parts: 1,
+                table: 0,
+                first_row: 0,
+                last_row: 9,
             }],
             shards: vec![crate::manifest::ShardMeta {
                 host: 0,

@@ -125,6 +125,62 @@ impl DeltaRecord {
         Ok(rows_applied)
     }
 
+    /// [`Self::apply`] for a lazily-restored model: MLPs, iteration, and
+    /// reader cursor semantics are unchanged, but embedding rows for which
+    /// `divert` returns true (rows not yet materialized) are *returned* as
+    /// `(table, row, values, adagrad)` tuples instead of written — the
+    /// caller buffers them and applies them when the row materializes.
+    /// Row deltas are whole-row overwrites, so deferral composes: applying
+    /// chunk levels then buffered deltas in replay order reproduces the
+    /// eager result bit-exactly.
+    #[allow(clippy::type_complexity)]
+    pub fn apply_partial(
+        &self,
+        model: &mut DlrmModel,
+        mut divert: impl FnMut(u16, u32) -> bool,
+    ) -> Result<(u64, Vec<(u16, u32, Vec<f32>, Option<f32>)>)> {
+        let mut rows_applied = 0u64;
+        let mut deferred: Vec<(u16, u32, Vec<f32>, Option<f32>)> = Vec::new();
+        for chunk in &self.chunks {
+            let t = chunk.table as usize;
+            let table = model
+                .tables_mut()
+                .get_mut(t)
+                .ok_or_else(|| CnrError::Corrupt(format!("delta chunk for unknown table {t}")))?;
+            let (dim, nrows) = (table.dim(), table.rows());
+            for (k, &idx) in chunk.row_indices.iter().enumerate() {
+                let i = idx as usize;
+                if i >= nrows {
+                    return Err(CnrError::Corrupt(format!(
+                        "delta row {i} out of range for table {t} ({nrows} rows)"
+                    )));
+                }
+                let values = chunk.rows[k].dequantize();
+                if values.len() != dim {
+                    return Err(CnrError::Corrupt(format!(
+                        "delta row dim {} != table dim {dim}",
+                        values.len()
+                    )));
+                }
+                let acc = chunk.optimizer_state.as_ref().map(|a| a[k]);
+                if divert(chunk.table, idx) {
+                    deferred.push((chunk.table, idx, values, acc));
+                    continue;
+                }
+                table.row_mut(i).copy_from_slice(&values);
+                if let (Some(a), Some(adagrad)) = (acc, table.adagrad_mut()) {
+                    adagrad[i] = a;
+                }
+                rows_applied += 1;
+            }
+        }
+        let (bottom, top) = model.mlps_mut();
+        bottom.unflatten(&self.bottom_mlp);
+        top.unflatten(&self.top_mlp);
+        model.set_iteration(self.iteration);
+        Ok((rows_applied, deferred))
+    }
+
     /// Serializes the record (the WAL frame payload).
     pub fn encode(&self) -> Vec<u8> {
         let mut buf = Vec::new();
@@ -223,6 +279,38 @@ mod tests {
                 assert_eq!(chunk.rows[k].dequantize(), table.row(i as usize));
             }
         }
+    }
+
+    #[test]
+    fn apply_partial_diverts_rows_and_composes_back() {
+        let (model, batch) = model_and_batch();
+        let rec = DeltaRecord::capture(&model, &batch, &QuantScheme::Fp32, CheckpointId(0), 1);
+        let cfg = model.config().clone();
+        // Full application as reference.
+        let mut eager = DlrmModel::new(cfg.clone());
+        rec.apply(&mut eager).unwrap();
+        // Divert every row of table 0; apply the rest.
+        let mut partial = DlrmModel::new(cfg);
+        let (applied, deferred) = rec.apply_partial(&mut partial, |t, _| t == 0).unwrap();
+        let diverted = deferred.len() as u64;
+        assert!(diverted > 0, "table 0 rows must be diverted");
+        assert_eq!(
+            applied + diverted,
+            rec.touched_rows(),
+            "every row is either applied or returned, never dropped"
+        );
+        // MLPs and iteration always apply.
+        assert_eq!(partial.iteration(), 1);
+        assert_eq!(partial.bottom().flatten(), eager.bottom().flatten());
+        // Replaying the deferred tuples reproduces the eager result.
+        for (t, row, values, acc) in deferred {
+            let table = &mut partial.tables_mut()[t as usize];
+            table.row_mut(row as usize).copy_from_slice(&values);
+            if let (Some(a), Some(adagrad)) = (acc, table.adagrad_mut()) {
+                adagrad[row as usize] = a;
+            }
+        }
+        assert_eq!(partial.state_hash(), eager.state_hash());
     }
 
     #[test]

@@ -176,6 +176,19 @@ impl EngineBuilder {
         self
     }
 
+    /// Enables lazy (CPR-style) eager-resume restore: training resumes as
+    /// soon as the dense layers plus the hottest `hot_fraction` of
+    /// embedding rows are applied, while a background drain keeps fetching
+    /// the cold tail and any cold row a batch touches first faults in
+    /// on-demand (a synchronous targeted fetch, counted separately in
+    /// [`ResumeStats`]). Bit-identical to the eager path once the drain
+    /// completes.
+    pub fn lazy_restore(mut self, hot_fraction: f64) -> Self {
+        self.ckpt.lazy_restore = true;
+        self.ckpt.lazy_hot_fraction = hot_fraction;
+        self
+    }
+
     /// Enables background scrubbing: whenever a checkpoint interval
     /// boundary finds a sweep due (every `interval` of simulated time),
     /// the engine walks every live checkpoint object, verifies its
@@ -246,6 +259,8 @@ impl EngineBuilder {
             scrub_schedule: self.scrub_interval.map(ScrubScheduler::new),
             wal,
             wal_unsynced_bytes: 0,
+            pending_lazy: None,
+            lazy_drain_done_at: Duration::ZERO,
         })
     }
 }
@@ -304,6 +319,13 @@ pub struct Engine {
     /// Frame bytes appended since the last WAL sync — the byte count the
     /// next sync's simulated device time is charged for.
     wal_unsynced_bytes: u64,
+    /// Cold tail of an in-progress lazy restore: rows the background drain
+    /// has not yet materialized, plus WAL deltas deferred until they are.
+    /// `None` once fully drained (or when restores are eager).
+    pending_lazy: Option<read::LazyRestore>,
+    /// Simulated instant the lazy restore's background fetch finishes —
+    /// past it a full drain costs no additional transfer time.
+    lazy_drain_done_at: Duration,
 }
 
 impl Engine {
@@ -316,6 +338,7 @@ impl Engine {
             self.reader.extend_budget(run);
             for _ in 0..run {
                 let batch = self.reader.next_batch();
+                self.fault_in_for_batch(&batch)?;
                 self.trainer.train_one(&batch);
                 self.wal_append(&batch)?;
             }
@@ -398,6 +421,10 @@ impl Engine {
     }
 
     fn checkpoint_inner(&mut self, kill: Option<HostKill>) -> Result<CheckpointRecord> {
+        // A snapshot must capture fully materialized state: finish any
+        // in-progress lazy restore first (waiting out its background
+        // drain), otherwise the checkpoint would persist zeroed cold rows.
+        self.drain_lazy_restore()?;
         // §4.3, relaxed: interval N+1's snapshot and quantization are CPU
         // work and may overlap interval N's upload drain — only the
         // *uploads* must not overlap. Instead of blocking the clock on the
@@ -508,6 +535,12 @@ impl Engine {
     pub fn scrub_now(&mut self, replica: Option<&dyn ObjectStore>) -> Result<ScrubFindings> {
         let keys = self.controller.live_keys();
         let mut scrubber = Scrubber::new(self.store.as_ref());
+        if let Some(lazy) = &self.pending_lazy {
+            // A lazy restore's on-demand fault-ins read the same objects a
+            // sweep would rewrite (legacy upgrade / heal): skip keys with
+            // in-flight fetches so the sweep never races a fault-in.
+            scrubber = scrubber.with_in_flight(lazy.pending_keys());
+        }
         if let Some(r) = replica {
             scrubber = scrubber.with_replica(r);
         }
@@ -528,6 +561,108 @@ impl Engine {
     /// The background-scrub sweep log, when scrubbing is scheduled.
     pub fn scrub_schedule(&self) -> Option<&ScrubScheduler> {
         self.scrub_schedule.as_ref()
+    }
+
+    /// On-demand fault-in for a lazy restore: every row this batch touches
+    /// that the background drain has not yet materialized is fetched
+    /// synchronously (a targeted ranged read charged to the training
+    /// clock, and counted in [`ResumeStats`] — never silently dropped)
+    /// before the trainer sees the batch. Once the simulated clock passes
+    /// the background drain's completion point the whole cold tail is
+    /// applied at once and the lazy state retires.
+    fn fault_in_for_batch(&mut self, batch: &Batch) -> Result<()> {
+        if self.pending_lazy.is_none() {
+            return Ok(());
+        }
+        if self.clock.now() >= self.lazy_drain_done_at {
+            self.drain_lazy_restore()?;
+            return Ok(());
+        }
+        let mut lazy = self.pending_lazy.take().expect("checked above");
+        let mut fetches = 0u64;
+        let mut bytes = 0u64;
+        let mut result = Ok(());
+        'tables: for (t, rows) in batch.sparse.iter().enumerate() {
+            for &row in rows {
+                if !lazy.is_materialized(t as u16, row) {
+                    match lazy.fault_in(self.trainer.model_mut(), t as u16, row) {
+                        Ok(b) => {
+                            bytes += b;
+                            fetches += 1;
+                        }
+                        Err(e) => {
+                            result = Err(e);
+                            break 'tables;
+                        }
+                    }
+                }
+            }
+        }
+        if fetches > 0 {
+            let cost = self.store.read_transfer_time(bytes);
+            self.clock.advance(cost);
+            if let Some(r) = self.stats.resumes.last_mut() {
+                r.fault_in_fetches += fetches;
+                r.fault_in_time += cost;
+            }
+        }
+        if !lazy.is_drained() {
+            self.pending_lazy = Some(lazy);
+        }
+        result
+    }
+
+    /// Forces an in-progress lazy restore to finish: waits out the
+    /// background fetch (advancing the simulated clock to its completion
+    /// point), applies every remaining cold row and deferred WAL delta, and
+    /// retires the lazy state. Returns the rows materialized (zero when no
+    /// lazy restore is pending). Called automatically when training catches
+    /// up with the drain and before every checkpoint.
+    pub fn drain_lazy_restore(&mut self) -> Result<u64> {
+        let Some(mut lazy) = self.pending_lazy.take() else {
+            return Ok(0);
+        };
+        self.clock.advance_to(self.lazy_drain_done_at);
+        let outcome = lazy.drain(self.trainer.model_mut())?;
+        Ok(outcome.rows_materialized)
+    }
+
+    /// The in-progress lazy restore's cold tail, if any.
+    pub fn pending_lazy(&self) -> Option<&read::LazyRestore> {
+        self.pending_lazy.as_ref()
+    }
+
+    /// Builds the priority planner's row-heat model for a lazy restore:
+    /// the workload's Zipf skew as the prior (row `k` of each table scores
+    /// its pmf), boosted by every row the modification tracker saw touched
+    /// since the last baseline — the current access window's working set,
+    /// which training is most likely to need first.
+    fn build_heat(&self) -> read::RowHeat {
+        let row_counts: Vec<usize> = self
+            .trainer
+            .model()
+            .config()
+            .tables
+            .iter()
+            .map(|t| t.rows as usize)
+            .collect();
+        let spec_tables = &self.dataset.spec().tables;
+        let exponent = if spec_tables.is_empty() {
+            1.0
+        } else {
+            spec_tables.iter().map(|t| t.zipf_exponent).sum::<f64>()
+                / spec_tables.len() as f64
+        };
+        let mut heat = read::RowHeat::zipf(&row_counts, exponent);
+        let snap = self.trainer.tracker().snapshot();
+        let mut coverage = cnr_tracking::CoverageAnalyzer::new(&row_counts);
+        for (t, mask) in snap.tables.iter().enumerate() {
+            for row in mask.iter_ones() {
+                coverage.observe(t, row);
+            }
+        }
+        heat.boost_covered(&coverage, 1.0);
+        heat
     }
 
     /// Simulates a failure: discards live training state and restores from
@@ -609,7 +744,18 @@ impl Engine {
         self.clock.advance_to(self.uploads_durable_at);
         let started_at = self.clock.now();
         let options = self.config.restore_options();
-        let sharded = read::restore_sharded_with_failures(
+        // Priority heat for the lazy planner, built *before* the tracker
+        // reset below: the Zipf prior plus the rows training touched since
+        // the last baseline.
+        let heat = if options.lazy {
+            Some(self.build_heat())
+        } else {
+            None
+        };
+        // A failure mid-lazy-drain discards the previous restore's cold
+        // tail along with the rest of the live training state.
+        self.pending_lazy = None;
+        let sharded = read::restore_sharded_with_heat(
             self.store.as_ref(),
             &self.job,
             latest,
@@ -617,8 +763,10 @@ impl Engine {
             &options,
             started_at,
             kill,
+            heat.as_ref(),
         )?;
         let report = sharded.report;
+        let mut lazy_tail = sharded.lazy;
 
         // Rebuild trainer-side state.
         report.state.restore(self.trainer.model_mut());
@@ -663,7 +811,25 @@ impl Engine {
                 {
                     continue;
                 }
-                delta.apply(self.trainer.model_mut())?;
+                match &mut lazy_tail {
+                    Some(lazy) => {
+                        // Dense weights and the cursor replay immediately;
+                        // row deltas targeting not-yet-materialized rows
+                        // are buffered and re-applied when their row
+                        // arrives, preserving bit-identity with the eager
+                        // path once the drain completes.
+                        let (_, deferred) = delta.apply_partial(
+                            self.trainer.model_mut(),
+                            |t, r| !lazy.is_materialized(t, r),
+                        )?;
+                        for (t, r, values, acc) in deferred {
+                            lazy.defer_delta(t, r, values, acc);
+                        }
+                    }
+                    None => {
+                        delta.apply(self.trainer.model_mut())?;
+                    }
+                }
                 if mark_replayed {
                     // Replayed rows diverge from the baseline exactly like
                     // trained rows do: future one-shot incrementals must
@@ -689,10 +855,17 @@ impl Engine {
         // progress into the current interval.
         self.batches_into_interval = wal_replayed % self.config.interval_batches;
 
-        // Charge the sharded fetch to the clock: ready-to-train is when the
-        // last reader host's last range arrived; the WAL tail replay reads
-        // its segments after that.
-        self.clock.advance_to(sharded.ready_at);
+        // Charge the sharded fetch to the clock. Eager: ready-to-train is
+        // when the last reader host's last range arrived. Lazy: training
+        // resumes at the first-batch point (dense + hot rows applied) while
+        // the cold tail keeps arriving in the background until `ready_at`.
+        // The WAL tail replay reads its segments after either point.
+        if lazy_tail.is_some() {
+            self.clock.advance_to(sharded.first_batch_at);
+            self.lazy_drain_done_at = sharded.ready_at;
+        } else {
+            self.clock.advance_to(sharded.ready_at);
+        }
         self.clock.advance(wal_replay_time);
 
         // Record the time-to-resume breakdown at both accounting layers,
@@ -701,6 +874,9 @@ impl Engine {
         let mut breakdown = sharded.breakdown;
         breakdown.drain_wait = drain_wait;
         breakdown.wal_replay = wal_replay_time;
+        // First-batch shares the drain wait and WAL replay with full
+        // resume; for eager restores it stays equal to time-to-resume.
+        breakdown.time_to_first_batch += drain_wait + wal_replay_time;
         breakdown.wal_replayed_iterations = wal_replayed;
         breakdown.lost_iterations =
             failed_iteration.saturating_sub(self.trainer.model().iteration());
@@ -728,7 +904,15 @@ impl Engine {
             wal_replay: breakdown.wal_replay,
             wal_replayed_iterations: breakdown.wal_replayed_iterations,
             lost_iterations: breakdown.lost_iterations,
+            time_to_first_batch: breakdown.time_to_first_batch,
+            mode: breakdown.mode,
+            fault_in_fetches: 0,
+            fault_in_time: Duration::ZERO,
         });
+
+        // Stash the cold tail: batches fault rows in on demand until the
+        // background drain completes (`lazy_drain_done_at`).
+        self.pending_lazy = lazy_tail.filter(|l| !l.is_drained());
 
         // Count against the quantization budget (§6.2.1 fallback).
         self.bitwidth.on_restore();
@@ -804,6 +988,7 @@ impl Engine {
         self.trainer.tracker().reset();
         self.reader = ReaderMaster::new(self.dataset.clone(), self.reader_cfg);
         self.batches_into_interval = 0;
+        self.pending_lazy = None;
     }
 
     /// The quantization scheme the next checkpoint will use.
@@ -816,6 +1001,12 @@ impl Engine {
     }
 
     /// Evaluates the current model on held-out batches `[from, to)`.
+    ///
+    /// Deliberately does **not** fault in lazily restored rows: evaluating
+    /// mid-drain measures the model exactly as training would see it if it
+    /// never touched the cold tail — the accuracy-vs-eagerness ablation
+    /// relies on this (drain first via [`Engine::drain_lazy_restore`] for
+    /// the fully materialized number).
     pub fn evaluate(&self, from: u64, to: u64) -> EvalReport {
         evaluate(self.trainer.model(), &self.dataset, from, to)
     }
@@ -893,6 +1084,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use cnr_cluster::RestoreMode;
 
     fn builder() -> EngineBuilder {
         let spec = DatasetSpec::tiny(101);
@@ -1607,5 +1799,181 @@ mod tests {
             assert!(w[1] > w[0], "consecutive capacity must grow: {caps:?}");
         }
         assert_eq!(e.store().total_bytes(), *caps.last().unwrap());
+    }
+
+    /// A lazy-restore engine over a slow store: 4 writer hosts shard every
+    /// table into row ranges (so the priority planner has cold chunks to
+    /// defer), 2 reader hosts fetch, and the downlink is slow enough that
+    /// the hot/cold arrival gap is visible in simulated time.
+    fn lazy_builder(hot_fraction: f64) -> EngineBuilder {
+        builder()
+            .writer_hosts(4)
+            .reader_hosts(2)
+            .lazy_restore(hot_fraction)
+            .remote_config(RemoteConfig {
+                bandwidth_bytes_per_sec: 64.0 * 1024.0, // slow: fetch dominates
+                base_latency: Duration::from_micros(100),
+                replication: 1,
+                channels: 2,
+            })
+    }
+
+    #[test]
+    fn lazy_restore_trains_before_the_drain_and_converges_bit_identically() {
+        let mut a = lazy_builder(0.05).build().unwrap();
+        a.train_batches(10).unwrap();
+        let hash_at_10 = a.trainer().model().state_hash();
+        a.train_batches(3).unwrap(); // progress past the checkpoint...
+        a.simulate_failure_and_restore().unwrap(); // ...and lose it
+        let resume = a.stats().resumes.last().unwrap();
+        assert_eq!(resume.mode, RestoreMode::Lazy);
+        assert!(
+            resume.time_to_first_batch < resume.time_to_resume,
+            "lazy first-batch ({:?}) must beat full resume ({:?})",
+            resume.time_to_first_batch,
+            resume.time_to_resume
+        );
+        let pending = a.pending_lazy().expect("cold tail pending").pending_rows();
+        assert!(pending > 0, "some rows still cold at first-batch time");
+        let materialized = a.drain_lazy_restore().unwrap();
+        assert!(materialized > 0);
+        assert_eq!(
+            a.trainer().model().state_hash(),
+            hash_at_10,
+            "lazy restore + drain is bit-identical to the checkpoint"
+        );
+        a.train_batches(5).unwrap();
+
+        let mut b = builder().build().unwrap();
+        b.train_batches(15).unwrap();
+        assert_eq!(
+            a.trainer().model().state_hash(),
+            b.trainer().model().state_hash(),
+            "lazily restored run must be indistinguishable"
+        );
+
+        // Eager control: first-batch coincides with full resume and no
+        // fault-ins happen.
+        let mut c = builder().build().unwrap();
+        c.train_batches(10).unwrap();
+        c.simulate_failure_and_restore().unwrap();
+        let r = c.stats().resumes.last().unwrap();
+        assert_eq!(r.mode, RestoreMode::Eager);
+        assert_eq!(r.time_to_first_batch, r.time_to_resume);
+        assert_eq!(r.fault_in_fetches, 0);
+        assert!(c.pending_lazy().is_none());
+    }
+
+    #[test]
+    fn lazy_fault_ins_are_counted_and_charged() {
+        // 13 batches: the restore lands on the checkpoint at 10, and the
+        // tracker's 3-batch working set outnumbers the top-K cutoff so the
+        // coverage boost leaves genuinely cold shards (restoring *exactly*
+        // at a boundary on this tiny model marks every shard hot — each
+        // holds some recently touched row).
+        let mut a = lazy_builder(0.05).build().unwrap();
+        a.train_batches(13).unwrap();
+        a.simulate_failure_and_restore().unwrap();
+        assert!(a.pending_lazy().is_some());
+        // Four batches stay inside the interval (no boundary, no forced
+        // drain); the slow store keeps the clock short of the background
+        // drain's completion, so every cold row a batch touches faults in.
+        a.train_batches(4).unwrap();
+        let resume = a.stats().resumes.last().unwrap();
+        assert!(
+            resume.fault_in_fetches > 0,
+            "batches over a Zipf tail must touch some cold rows"
+        );
+        assert!(resume.fault_in_time > Duration::ZERO, "fault-ins are charged");
+
+        // Bit-identity holds after the drain even though training ran
+        // mid-drain: faulted rows carried checkpoint bytes, cold rows the
+        // drain filled in.
+        a.drain_lazy_restore().unwrap();
+        let mut b = builder()
+            .writer_hosts(4)
+            .reader_hosts(2)
+            .remote_config(RemoteConfig {
+                bandwidth_bytes_per_sec: 64.0 * 1024.0,
+                base_latency: Duration::from_micros(100),
+                replication: 1,
+                channels: 2,
+            })
+            .build()
+            .unwrap();
+        b.train_batches(13).unwrap();
+        b.simulate_failure_and_restore().unwrap();
+        b.train_batches(4).unwrap();
+        assert_eq!(
+            a.trainer().model().state_hash(),
+            b.trainer().model().state_hash(),
+            "training mid-drain must not diverge from the eager path"
+        );
+    }
+
+    #[test]
+    fn checkpoint_mid_drain_forces_materialization_first() {
+        let mut e = lazy_builder(0.05).build().unwrap();
+        e.train_batches(10).unwrap();
+        let hash_at_10 = e.trainer().model().state_hash();
+        e.train_batches(2).unwrap();
+        e.simulate_failure_and_restore().unwrap();
+        assert!(e.pending_lazy().is_some());
+        e.checkpoint_now().unwrap();
+        assert!(
+            e.pending_lazy().is_none(),
+            "a snapshot must never capture unmaterialized rows"
+        );
+        // The forced checkpoint captured complete state: restoring from it
+        // (and draining) lands back on the exact pre-failure weights.
+        e.simulate_failure_and_restore().unwrap();
+        e.drain_lazy_restore().unwrap();
+        assert_eq!(e.trainer().model().state_hash(), hash_at_10);
+    }
+
+    #[test]
+    fn scrub_mid_drain_skips_in_flight_keys() {
+        let mut e = lazy_builder(0.05).build().unwrap();
+        e.train_batches(12).unwrap(); // past the boundary: cold shards exist
+        e.simulate_failure_and_restore().unwrap();
+        let pending = e.pending_lazy().expect("cold tail").pending_keys().len() as u64;
+        assert!(pending > 0);
+        let findings = e.scrub_now(None).unwrap();
+        assert_eq!(
+            findings.skipped_in_flight, pending,
+            "a sweep mid-lazy-restore must not race the background fault-ins"
+        );
+        e.drain_lazy_restore().unwrap();
+        let after = e.scrub_now(None).unwrap();
+        assert_eq!(after.skipped_in_flight, 0);
+        assert!(
+            after.scanned > findings.scanned,
+            "the next sweep revisits the skipped keys"
+        );
+    }
+
+    #[test]
+    fn lazy_restore_composes_with_wal_tail_replay() {
+        let mut a = lazy_builder(0.05)
+            .delta_wal(DeltaWalConfig::default())
+            .build()
+            .unwrap();
+        a.train_batches(13).unwrap(); // checkpoints at 5 and 10; 3-record tail
+        let hash_at_13 = a.trainer().model().state_hash();
+        a.simulate_failure_and_restore().unwrap();
+        let resume = a.stats().resumes.last().unwrap();
+        assert_eq!(resume.mode, RestoreMode::Lazy);
+        assert_eq!(resume.restore_point, RestorePoint::WalTip);
+        assert_eq!(resume.wal_replayed_iterations, 3);
+        assert!(resume.time_to_first_batch < resume.time_to_resume);
+        // Dense weights and the cursor replayed immediately; any deferred
+        // row deltas land with the drain — back to the exact failed state.
+        a.drain_lazy_restore().unwrap();
+        assert_eq!(
+            a.trainer().model().state_hash(),
+            hash_at_13,
+            "lazy + WAL tail + drain must be bit-identical to the tip"
+        );
+        assert_eq!(a.trainer().model().iteration(), 13);
     }
 }

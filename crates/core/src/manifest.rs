@@ -68,6 +68,26 @@ pub struct ChunkMeta {
     pub bytes: u64,
     /// Multipart parts the chunk was uploaded in (1 = single part).
     pub parts: u32,
+    /// Table the chunk's rows belong to ([`ChunkMeta::UNKNOWN_TABLE`] for
+    /// manifests written before wire v3, which did not record row ranges).
+    pub table: u16,
+    /// Lowest row index in the chunk (wire v3; `u32::MAX` when unknown).
+    pub first_row: u32,
+    /// Highest row index in the chunk (wire v3; `u32::MAX` when unknown).
+    pub last_row: u32,
+}
+
+impl ChunkMeta {
+    /// Sentinel `table` value for pre-v3 manifests that did not record
+    /// which table/rows a chunk covers.
+    pub const UNKNOWN_TABLE: u16 = u16::MAX;
+
+    /// The `(table, first_row..=last_row)` range this chunk covers, when
+    /// the manifest recorded it (wire v3+). Priority planning needs this to
+    /// rank chunks by access heat; pre-v3 chunks rank conservatively hot.
+    pub fn row_range(&self) -> Option<(u16, u32, u32)> {
+        (self.table != Self::UNKNOWN_TABLE).then_some((self.table, self.first_row, self.last_row))
+    }
 }
 
 /// Per-writer-host summary of a sharded checkpoint (§4.4: every trainer
@@ -120,7 +140,12 @@ pub struct Manifest {
 }
 
 const MAGIC: u32 = 0x434E_524D; // "CNRM"
-const VERSION: u16 = 2;
+/// Current manifest body version. v3 added per-chunk row ranges
+/// (`table`/`first_row`/`last_row`) so the read planner can rank chunks by
+/// access heat; v2 bodies still decode, with those fields set to their
+/// unknown sentinels.
+const VERSION: u16 = 3;
+const VERSION_V2: u16 = 2;
 
 /// Strips (and verifies) a v3 envelope when present; legacy bytes pass
 /// through untouched. Every decode path funnels through this, so a
@@ -170,6 +195,9 @@ impl Manifest {
             body.put_u32_le(c.rows);
             body.put_u64_le(c.bytes);
             body.put_u32_le(c.parts);
+            body.put_u16_le(c.table);
+            body.put_u32_le(c.first_row);
+            body.put_u32_le(c.last_row);
         }
         body.put_u16_le(self.shards.len() as u16);
         for s in &self.shards {
@@ -204,7 +232,7 @@ impl Manifest {
             return Err(CnrError::Corrupt(format!("bad manifest magic {magic:#x}")));
         }
         let version = wire::get_u16(buf)?;
-        if version != VERSION {
+        if version != VERSION && version != VERSION_V2 {
             return Err(CnrError::Corrupt(format!(
                 "unsupported manifest version {version}"
             )));
@@ -238,12 +266,27 @@ impl Manifest {
         let chunk_count = wire::get_u32(b)? as usize;
         let mut chunks = Vec::with_capacity(chunk_count);
         for _ in 0..chunk_count {
+            let key = wire::get_string(b)?;
+            let shard = wire::get_u16(b)?;
+            let rows = wire::get_u32(b)?;
+            let bytes = wire::get_u64(b)?;
+            let parts = wire::get_u32(b)?;
+            // v2 manifests did not record row ranges; leave the sentinels
+            // so priority planning treats the chunk as unranked.
+            let (table, first_row, last_row) = if version >= VERSION {
+                (wire::get_u16(b)?, wire::get_u32(b)?, wire::get_u32(b)?)
+            } else {
+                (ChunkMeta::UNKNOWN_TABLE, u32::MAX, u32::MAX)
+            };
             chunks.push(ChunkMeta {
-                key: wire::get_string(b)?,
-                shard: wire::get_u16(b)?,
-                rows: wire::get_u32(b)?,
-                bytes: wire::get_u64(b)?,
-                parts: wire::get_u32(b)?,
+                key,
+                shard,
+                rows,
+                bytes,
+                parts,
+                table,
+                first_row,
+                last_row,
             });
         }
         let shard_count = wire::get_u16(b)? as usize;
@@ -484,6 +527,9 @@ mod tests {
                     rows: 4096,
                     bytes: 65536,
                     parts: 2,
+                    table: 0,
+                    first_row: 0,
+                    last_row: 4095,
                 },
                 ChunkMeta {
                     key: "job/ckpt-00000042/shard-001-chunk-000000".into(),
@@ -491,6 +537,9 @@ mod tests {
                     rows: 100,
                     bytes: 1600,
                     parts: 1,
+                    table: 1,
+                    first_row: 400,
+                    last_row: 499,
                 },
             ],
             shards: vec![
@@ -534,6 +583,68 @@ mod tests {
             m.scheme = scheme;
             assert_eq!(Manifest::decode(&m.encode()).unwrap().scheme, scheme);
         }
+    }
+
+    /// Re-encodes a manifest with the pre-v3 body layout (no per-chunk row
+    /// ranges) so the dual-version decode path stays covered without
+    /// golden files.
+    fn encode_v2(m: &Manifest) -> Vec<u8> {
+        let mut body = Vec::new();
+        body.put_u64_le(m.id.0);
+        body.put_u8(match m.kind {
+            CheckpointKind::Full => 0,
+            CheckpointKind::Incremental => 1,
+        });
+        body.put_u64_le(m.base.map(|b| b.0).unwrap_or(u64::MAX));
+        body.put_u64_le(m.iteration);
+        body.put_u64_le(m.reader_state.next_batch);
+        encode_scheme(&mut body, &m.scheme);
+        body.put_u16_le(m.tables.len() as u16);
+        for t in &m.tables {
+            body.put_u64_le(t.rows);
+            body.put_u16_le(t.dim);
+            body.put_u8(t.has_optimizer_state as u8);
+        }
+        wire::put_f32s(&mut body, &m.bottom_mlp);
+        wire::put_f32s(&mut body, &m.top_mlp);
+        body.put_u32_le(m.chunks.len() as u32);
+        for c in &m.chunks {
+            wire::put_string(&mut body, &c.key);
+            body.put_u16_le(c.shard);
+            body.put_u32_le(c.rows);
+            body.put_u64_le(c.bytes);
+            body.put_u32_le(c.parts);
+        }
+        body.put_u16_le(m.shards.len() as u16);
+        for s in &m.shards {
+            body.put_u16_le(s.host);
+            body.put_u64_le(s.rows);
+            body.put_u32_le(s.chunks);
+            body.put_u64_le(s.bytes);
+            body.put_u32_le(s.parts);
+        }
+        body.put_u64_le(m.payload_bytes);
+        let mut out = Vec::with_capacity(body.len() + 32);
+        out.put_u32_le(MAGIC);
+        out.put_u16_le(VERSION_V2);
+        wire::put_framed(&mut out, &body);
+        out
+    }
+
+    #[test]
+    fn v2_manifest_body_decodes_with_unknown_row_ranges() {
+        let m = sample_manifest();
+        let back = Manifest::decode(&encode_v2(&m)).unwrap();
+        assert_eq!(back.id, m.id);
+        assert_eq!(back.chunks.len(), m.chunks.len());
+        for (old, new) in back.chunks.iter().zip(&m.chunks) {
+            assert_eq!(old.key, new.key);
+            assert_eq!(old.bytes, new.bytes);
+            assert_eq!(old.table, ChunkMeta::UNKNOWN_TABLE);
+            assert_eq!(old.row_range(), None, "pre-v3 chunks are unranked");
+        }
+        // v3 chunks do report their range.
+        assert_eq!(m.chunks[1].row_range(), Some((1, 400, 499)));
     }
 
     #[test]

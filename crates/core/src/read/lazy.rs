@@ -1,0 +1,435 @@
+//! Lazy-restore state: cold chunks held back for fault-in or drain.
+//!
+//! A priority-ordered restore ([`super::planner::plan_priority`]) applies
+//! only the *hot* chunks before training resumes (CPR-style partial
+//! recovery); everything else is fetched in the background but not yet
+//! merged. [`LazyRestore`] owns that deferred tail:
+//!
+//! * **cold chunks** — decoded but unapplied; their rows sit at the merge
+//!   template until materialized,
+//! * **per-row application ranks** — which chunk (in the serial
+//!   `(level, key)` order) last wrote each row, so a late-materializing
+//!   cold chunk from an *older* level never clobbers a hot chunk from a
+//!   newer one,
+//! * **deferred WAL row deltas** — delta-log rows whose target row was not
+//!   materialized at replay time, buffered in replay order and applied the
+//!   moment the row exists.
+//!
+//! Materialization happens two ways, both bit-identical to the eager path
+//! once complete: a **fault-in** (training touched an unrestored row — a
+//! counted, synchronous, targeted fetch) or the background **drain** (the
+//! rest of the restore finished arriving). Per row, the apply order is
+//! always: chunk levels ascending, then deferred deltas in replay order —
+//! exactly the order the eager path used.
+
+use super::shard_reader::DecodedChunk;
+use crate::error::{CnrError, Result};
+use cnr_model::DlrmModel;
+use std::collections::HashMap;
+
+/// One WAL row delta deferred until its row materializes.
+#[derive(Debug, Clone)]
+struct RowDelta {
+    values: Vec<f32>,
+    acc: Option<f32>,
+}
+
+/// What a background drain applied.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DrainOutcome {
+    /// Rows materialized by the drain (not counting earlier fault-ins).
+    pub rows_materialized: u64,
+    /// Deferred WAL row deltas applied on top of them.
+    pub deltas_applied: u64,
+}
+
+/// Deferred tail of a lazy restore: cold chunks plus everything needed to
+/// materialize their rows bit-identically to the eager path.
+#[derive(Debug, Clone)]
+pub struct LazyRestore {
+    /// Cold chunks with their rank in the serial `(level, key)` application
+    /// order (rank 0 = "nothing applied"), ascending.
+    cold: Vec<(u32, DecodedChunk)>,
+    /// Per table, per row: rank of the last chunk whose value was applied.
+    applied_rank: Vec<Vec<u32>>,
+    /// Per table, per row: whether the row holds its final restored value.
+    materialized: Vec<Vec<bool>>,
+    /// Rows still waiting on a cold chunk.
+    pending_rows: u64,
+    /// WAL row deltas buffered for unmaterialized rows, replay order per row.
+    deferred: HashMap<(u16, u32), Vec<RowDelta>>,
+    /// Synchronous targeted fetches performed for touched-but-unrestored
+    /// rows (one per faulted row, however many chunk levels it needed).
+    fault_in_fetches: u64,
+    /// Bytes attributed to fault-in fetches (per-row share of each chunk).
+    fault_in_bytes: u64,
+    /// Deferred deltas buffered over the restore's WAL replay.
+    deferred_deltas: u64,
+}
+
+impl LazyRestore {
+    /// Builds the deferred tail from every decoded chunk of a restore
+    /// (hot ones applied already, cold ones not). `row_counts` is the
+    /// per-table row geometry of the model being restored.
+    pub fn new(decoded: Vec<DecodedChunk>, row_counts: &[usize]) -> Self {
+        let mut chunks = decoded;
+        chunks.sort_by(|a, b| (a.level, &a.key).cmp(&(b.level, &b.key)));
+        let mut applied_rank: Vec<Vec<u32>> =
+            row_counts.iter().map(|&n| vec![0u32; n]).collect();
+        let mut cold: Vec<(u32, DecodedChunk)> = Vec::new();
+        for (i, chunk) in chunks.into_iter().enumerate() {
+            let rank = i as u32 + 1;
+            if chunk.hot {
+                let t = chunk.table as usize;
+                if let Some(table) = applied_rank.get_mut(t) {
+                    for &row in &chunk.row_indices {
+                        if let Some(r) = table.get_mut(row as usize) {
+                            *r = rank;
+                        }
+                    }
+                }
+            } else {
+                cold.push((rank, chunk));
+            }
+        }
+        // A row is pending only if some cold chunk outranks what the hot
+        // merge already wrote to it; a cold chunk fully shadowed by a newer
+        // hot chunk leaves its rows final.
+        let mut materialized: Vec<Vec<bool>> =
+            row_counts.iter().map(|&n| vec![true; n]).collect();
+        let mut pending_rows = 0u64;
+        for (rank, chunk) in &cold {
+            let t = chunk.table as usize;
+            for &row in &chunk.row_indices {
+                let r = row as usize;
+                let stale = applied_rank
+                    .get(t)
+                    .and_then(|tbl| tbl.get(r))
+                    .is_some_and(|&applied| *rank > applied);
+                if stale {
+                    if let Some(m) = materialized.get_mut(t).and_then(|tbl| tbl.get_mut(r)) {
+                        if *m {
+                            *m = false;
+                            pending_rows += 1;
+                        }
+                    }
+                }
+            }
+        }
+        Self {
+            cold,
+            applied_rank,
+            materialized,
+            pending_rows,
+            deferred: HashMap::new(),
+            fault_in_fetches: 0,
+            fault_in_bytes: 0,
+            deferred_deltas: 0,
+        }
+    }
+
+    /// Whether `(table, row)` already holds its final restored value.
+    /// Unknown coordinates count as materialized (nothing to fault in).
+    pub fn is_materialized(&self, table: u16, row: u32) -> bool {
+        self.materialized
+            .get(table as usize)
+            .and_then(|t| t.get(row as usize))
+            .copied()
+            .unwrap_or(true)
+    }
+
+    /// Rows still waiting on a cold chunk.
+    pub fn pending_rows(&self) -> u64 {
+        self.pending_rows
+    }
+
+    /// Whether every row is materialized and every deferred delta applied.
+    pub fn is_drained(&self) -> bool {
+        self.pending_rows == 0 && self.deferred.is_empty()
+    }
+
+    /// Keys of cold chunks that still cover at least one unmaterialized
+    /// row — the in-flight set a concurrent scrub sweep must not rewrite
+    /// out from under a fault-in's targeted read.
+    pub fn pending_keys(&self) -> Vec<String> {
+        self.cold
+            .iter()
+            .filter(|(rank, chunk)| {
+                let t = chunk.table as usize;
+                chunk.row_indices.iter().any(|&row| {
+                    let pending = !self.is_materialized(chunk.table, row);
+                    let outranks = self
+                        .applied_rank
+                        .get(t)
+                        .and_then(|tbl| tbl.get(row as usize))
+                        .is_some_and(|&applied| *rank > applied);
+                    pending && outranks
+                })
+            })
+            .map(|(_, chunk)| chunk.key.clone())
+            .collect()
+    }
+
+    /// Synchronous targeted fetches performed so far.
+    pub fn fault_in_fetches(&self) -> u64 {
+        self.fault_in_fetches
+    }
+
+    /// Bytes attributed to fault-in fetches so far.
+    pub fn fault_in_bytes(&self) -> u64 {
+        self.fault_in_bytes
+    }
+
+    /// Deltas currently buffered (diagnostics).
+    pub fn deferred_deltas(&self) -> u64 {
+        self.deferred_deltas
+    }
+
+    /// Buffers one WAL row delta for an unmaterialized row; it applies when
+    /// the row materializes (fault-in or drain), after all chunk levels.
+    /// Caller contract: only defer rows where [`Self::is_materialized`] is
+    /// false — deltas for live rows must apply immediately instead.
+    pub fn defer_delta(&mut self, table: u16, row: u32, values: Vec<f32>, acc: Option<f32>) {
+        self.deferred_deltas += 1;
+        self.deferred
+            .entry((table, row))
+            .or_default()
+            .push(RowDelta { values, acc });
+    }
+
+    /// Materializes `(table, row)` because training touched it before the
+    /// drain finished: applies the row's cold chunk values (levels
+    /// ascending), then its deferred deltas (replay order). Counted as one
+    /// targeted fetch; returns the bytes attributed to it (each touched
+    /// chunk's per-row share) so the caller can charge simulated transfer
+    /// time. A no-op returning 0 for rows already materialized.
+    pub fn fault_in(&mut self, model: &mut DlrmModel, table: u16, row: u32) -> Result<u64> {
+        if self.is_materialized(table, row) {
+            return Ok(0);
+        }
+        let mut bytes = 0u64;
+        for i in 0..self.cold.len() {
+            let (rank, ref chunk) = self.cold[i];
+            if chunk.table != table {
+                continue;
+            }
+            let applied = self.applied_rank[table as usize][row as usize];
+            if rank <= applied {
+                continue;
+            }
+            if let Ok(k) = chunk.row_indices.binary_search(&row) {
+                bytes += chunk.bytes / chunk.row_indices.len().max(1) as u64;
+                let (rank, chunk) = {
+                    let (r, c) = &self.cold[i];
+                    (*r, c.clone())
+                };
+                apply_chunk_row(model, &chunk, k)?;
+                self.applied_rank[table as usize][row as usize] = rank;
+            }
+        }
+        self.apply_deferred(model, table, row)?;
+        self.materialized[table as usize][row as usize] = true;
+        self.pending_rows -= 1;
+        self.fault_in_fetches += 1;
+        self.fault_in_bytes += bytes;
+        Ok(bytes)
+    }
+
+    /// Applies everything still deferred: every cold chunk's unapplied rows
+    /// (ascending rank, so per-row level order is preserved), then every
+    /// remaining deferred delta. After this the model is bit-identical to
+    /// an eager restore plus full WAL replay. Idempotent.
+    pub fn drain(&mut self, model: &mut DlrmModel) -> Result<DrainOutcome> {
+        let mut outcome = DrainOutcome::default();
+        let cold = std::mem::take(&mut self.cold);
+        for (rank, chunk) in &cold {
+            let t = chunk.table as usize;
+            for (k, &row) in chunk.row_indices.iter().enumerate() {
+                let r = row as usize;
+                let Some(applied) = self.applied_rank.get_mut(t).and_then(|tbl| tbl.get_mut(r))
+                else {
+                    continue;
+                };
+                if *rank <= *applied {
+                    continue;
+                }
+                apply_chunk_row(model, chunk, k)?;
+                *applied = *rank;
+            }
+        }
+        for tbl in 0..self.materialized.len() {
+            for row in 0..self.materialized[tbl].len() {
+                if !self.materialized[tbl][row] {
+                    self.materialized[tbl][row] = true;
+                    self.pending_rows -= 1;
+                    outcome.rows_materialized += 1;
+                    outcome.deltas_applied +=
+                        self.apply_deferred(model, tbl as u16, row as u32)?;
+                }
+            }
+        }
+        debug_assert!(self.deferred.is_empty(), "deltas deferred for live rows");
+        self.deferred.clear();
+        Ok(outcome)
+    }
+
+    /// Applies and consumes the deferred deltas of one row, replay order.
+    fn apply_deferred(&mut self, model: &mut DlrmModel, table: u16, row: u32) -> Result<u64> {
+        let Some(deltas) = self.deferred.remove(&(table, row)) else {
+            return Ok(0);
+        };
+        let n = deltas.len() as u64;
+        let t = table as usize;
+        let tbl = model
+            .tables_mut()
+            .get_mut(t)
+            .ok_or_else(|| CnrError::Corrupt(format!("deferred delta for unknown table {t}")))?;
+        let dim = tbl.dim();
+        for d in deltas {
+            if d.values.len() != dim {
+                return Err(CnrError::Corrupt(format!(
+                    "deferred delta dim {} != table dim {dim}",
+                    d.values.len()
+                )));
+            }
+            tbl.row_mut(row as usize).copy_from_slice(&d.values);
+            if let (Some(acc), Some(adagrad)) = (d.acc, tbl.adagrad_mut()) {
+                adagrad[row as usize] = acc;
+            }
+        }
+        Ok(n)
+    }
+}
+
+/// Writes cold-chunk row `k` of `chunk` into the live model.
+fn apply_chunk_row(model: &mut DlrmModel, chunk: &DecodedChunk, k: usize) -> Result<()> {
+    let t = chunk.table as usize;
+    let row = chunk.row_indices[k] as usize;
+    let table = model
+        .tables_mut()
+        .get_mut(t)
+        .ok_or_else(|| CnrError::Corrupt(format!("cold chunk for unknown table {t}")))?;
+    if row >= table.rows() {
+        return Err(CnrError::Corrupt(format!(
+            "cold chunk row {row} beyond table {t}"
+        )));
+    }
+    let values = &chunk.values[k];
+    if values.len() != table.dim() {
+        return Err(CnrError::Corrupt(format!(
+            "cold row decoded to {} values, expected {}",
+            values.len(),
+            table.dim()
+        )));
+    }
+    table.row_mut(row).copy_from_slice(values);
+    if let (Some(src), Some(adagrad)) = (&chunk.optimizer_state, table.adagrad_mut()) {
+        adagrad[row] = src[k];
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cnr_model::ModelConfig;
+    use cnr_workload::DatasetSpec;
+    use std::time::Duration;
+
+    fn model() -> DlrmModel {
+        let spec = DatasetSpec::tiny(5);
+        let mut cfg = ModelConfig::for_dataset(&spec, 4);
+        // Row-wise AdaGrad so the tests cover optimizer-state fault-in too.
+        cfg.optimizer = cnr_model::OptimizerConfig::RowWiseAdagrad { lr: 0.05, eps: 1e-8 };
+        DlrmModel::new(cfg)
+    }
+
+    fn chunk(
+        level: usize,
+        key: &str,
+        table: u16,
+        rows: &[u32],
+        fill: f32,
+        hot: bool,
+    ) -> DecodedChunk {
+        DecodedChunk {
+            level,
+            key: key.to_string(),
+            table,
+            row_indices: rows.to_vec(),
+            values: rows.iter().map(|_| vec![fill; 4]).collect(),
+            optimizer_state: Some(vec![fill; rows.len()]),
+            bytes: 100 * rows.len() as u64,
+            arrived_at: Duration::ZERO,
+            hot,
+        }
+    }
+
+    #[test]
+    fn cold_rows_are_pending_until_faulted_in() {
+        let mut m = model();
+        let lazy_chunks = vec![
+            chunk(0, "a", 0, &[0, 1], 1.0, true),
+            chunk(0, "b", 0, &[2, 3], 2.0, false),
+        ];
+        let row_counts: Vec<usize> = m.tables().iter().map(|t| t.rows()).collect();
+        let mut lazy = LazyRestore::new(lazy_chunks, &row_counts);
+        assert_eq!(lazy.pending_rows(), 2);
+        assert!(lazy.is_materialized(0, 0) && lazy.is_materialized(0, 1));
+        assert!(!lazy.is_materialized(0, 2));
+        assert_eq!(lazy.pending_keys(), vec!["b".to_string()]);
+
+        let bytes = lazy.fault_in(&mut m, 0, 2).unwrap();
+        assert_eq!(bytes, 100, "per-row share of the 2-row chunk");
+        assert_eq!(lazy.fault_in_fetches(), 1);
+        assert!(lazy.is_materialized(0, 2));
+        assert_eq!(m.tables()[0].row(2), &[2.0; 4]);
+        // Re-faulting a live row is free and uncounted.
+        assert_eq!(lazy.fault_in(&mut m, 0, 2).unwrap(), 0);
+        assert_eq!(lazy.fault_in_fetches(), 1);
+    }
+
+    #[test]
+    fn older_cold_chunk_never_clobbers_newer_hot_data() {
+        let mut m = model();
+        // Level 0 cold covers row 1; level 1 hot (already merged) rewrote
+        // it. The cold chunk is fully shadowed: nothing pending, and a
+        // drain must not overwrite the hot value.
+        m.tables_mut()[0].row_mut(1).copy_from_slice(&[9.0; 4]);
+        let chunks = vec![
+            chunk(0, "old", 0, &[1], 5.0, false),
+            chunk(1, "new", 0, &[1], 9.0, true),
+        ];
+        let row_counts: Vec<usize> = m.tables().iter().map(|t| t.rows()).collect();
+        let mut lazy = LazyRestore::new(chunks, &row_counts);
+        assert_eq!(lazy.pending_rows(), 0, "shadowed cold chunk leaves rows final");
+        assert!(lazy.pending_keys().is_empty());
+        lazy.drain(&mut m).unwrap();
+        assert_eq!(m.tables()[0].row(1), &[9.0; 4], "hot value survives the drain");
+    }
+
+    #[test]
+    fn drain_applies_levels_then_deferred_deltas_in_order() {
+        let mut m = model();
+        let chunks = vec![
+            chunk(0, "base", 0, &[0, 1], 1.0, false),
+            chunk(1, "incr", 0, &[1], 2.0, false),
+        ];
+        let row_counts: Vec<usize> = m.tables().iter().map(|t| t.rows()).collect();
+        let mut lazy = LazyRestore::new(chunks, &row_counts);
+        assert_eq!(lazy.pending_rows(), 2);
+        // Two deferred deltas for row 1: the later one must win.
+        lazy.defer_delta(0, 1, vec![3.0; 4], Some(3.0));
+        lazy.defer_delta(0, 1, vec![4.0; 4], Some(4.0));
+        let outcome = lazy.drain(&mut m).unwrap();
+        assert_eq!(outcome.rows_materialized, 2);
+        assert_eq!(outcome.deltas_applied, 2);
+        assert!(lazy.is_drained());
+        assert_eq!(m.tables()[0].row(0), &[1.0; 4], "level 0 value");
+        assert_eq!(m.tables()[0].row(1), &[4.0; 4], "last deferred delta wins");
+        assert_eq!(m.tables()[0].adagrad().unwrap()[1], 4.0);
+        // Idempotent.
+        let again = lazy.drain(&mut m).unwrap();
+        assert_eq!(again, DrainOutcome::default());
+    }
+}

@@ -31,7 +31,22 @@ pub struct MergedState {
 /// Verifies completeness: every manifest's chunk count must be matched by
 /// the decoded chunks of its level — a lost chunk fails the restore rather
 /// than silently zero-filling rows.
-pub fn merge(chain: &[Manifest], mut decoded: Vec<DecodedChunk>) -> Result<MergedState> {
+pub fn merge(chain: &[Manifest], decoded: Vec<DecodedChunk>) -> Result<MergedState> {
+    merge_where(chain, decoded, |_| true)
+}
+
+/// [`merge`] with a row-application filter: every decoded chunk still
+/// participates in the completeness check and the incremental-row union
+/// (the tracker must know about cold incremental rows too), but embedding
+/// values and optimizer state are written only for chunks where
+/// `apply_values` returns true. A lazy restore merges hot chunks eagerly
+/// and leaves cold chunks to materialize later (fault-in or background
+/// drain); rows of filtered-out chunks stay at the zero template.
+pub fn merge_where(
+    chain: &[Manifest],
+    mut decoded: Vec<DecodedChunk>,
+    apply_values: impl Fn(&DecodedChunk) -> bool,
+) -> Result<MergedState> {
     let newest = chain.last().expect("chain is never empty");
 
     // Completeness: group counts per level before consuming.
@@ -91,6 +106,7 @@ pub fn merge(chain: &[Manifest], mut decoded: Vec<DecodedChunk>) -> Result<Merge
                 chunk.row_indices.len()
             )));
         }
+        let apply = apply_values(chunk);
         for (i, &row_idx) in chunk.row_indices.iter().enumerate() {
             let r = row_idx as usize;
             if (r + 1) * dim > table.data.len() {
@@ -105,12 +121,15 @@ pub fn merge(chain: &[Manifest], mut decoded: Vec<DecodedChunk>) -> Result<Merge
                     values.len()
                 )));
             }
+            if kind == CheckpointKind::Incremental {
+                incremental_rows.tables[t].set(r);
+            }
+            if !apply {
+                continue;
+            }
             table.data[r * dim..(r + 1) * dim].copy_from_slice(values);
             if let (Some(acc), Some(src)) = (&mut table.adagrad, &chunk.optimizer_state) {
                 acc[r] = src[i];
-            }
-            if kind == CheckpointKind::Incremental {
-                incremental_rows.tables[t].set(r);
             }
             rows_applied += 1;
         }

@@ -34,12 +34,14 @@
 //! [`ResumeBreakdown`] — fetch/decode/merge — for the cluster layer's
 //! time-to-resume accounting.
 
+pub mod lazy;
 pub mod merge;
 pub mod planner;
 pub mod scheduler;
 pub mod shard_reader;
 
-pub use planner::FetchItem;
+pub use lazy::{DrainOutcome, LazyRestore};
+pub use planner::{FetchItem, RowHeat};
 pub use scheduler::{FetchScheduler, FetchStatus};
 pub use shard_reader::{DecodedChunk, ReadOutcome, ShardReader};
 
@@ -54,7 +56,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 /// Configuration of a sharded restore.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct RestoreOptions {
     /// Simulated reader hosts: each fetches its share of the chain over
     /// its own downlink. 1 = the single-host path.
@@ -69,6 +71,13 @@ pub struct RestoreOptions {
     /// Transient read-failure retries per ranged fetch before the restore
     /// fails.
     pub fetch_retries: u32,
+    /// Lazy (CPR-style) restore: fetch in priority order, apply only hot
+    /// chunks before declaring first batch, and hand the cold tail back as
+    /// a [`LazyRestore`] for fault-in or background drain.
+    pub lazy: bool,
+    /// Fraction of rows (by heat rank) that must be applied before first
+    /// batch in lazy mode; `1.0` makes lazy equivalent to eager.
+    pub hot_fraction: f64,
 }
 
 impl Default for RestoreOptions {
@@ -78,6 +87,8 @@ impl Default for RestoreOptions {
             fetch_window: 8,
             decode_workers: 2,
             fetch_retries: 2,
+            lazy: false,
+            hot_fraction: 0.1,
         }
     }
 }
@@ -97,6 +108,9 @@ impl RestoreOptions {
         if self.decode_workers == 0 {
             return Err("need at least one decode worker".into());
         }
+        if !self.hot_fraction.is_finite() || !(0.0..=1.0).contains(&self.hot_fraction) {
+            return Err("hot_fraction must lie in [0, 1]".into());
+        }
         Ok(())
     }
 }
@@ -112,6 +126,13 @@ pub struct ShardedRestore {
     pub breakdown: ResumeBreakdown,
     /// Absolute simulated time at which the last ranged fetch arrived.
     pub ready_at: Duration,
+    /// Absolute simulated time at which training may resume: for an eager
+    /// restore this equals `ready_at`; for a lazy one it is when the last
+    /// *hot* chunk landed (the cold tail keeps draining past it).
+    pub first_batch_at: Duration,
+    /// The cold tail of a lazy restore (rows not yet applied, awaiting
+    /// fault-in or drain); `None` for eager restores.
+    pub lazy: Option<LazyRestore>,
     /// Reader hosts that died mid-restore (their remaining chunks were
     /// re-sharded onto the survivors).
     pub killed_hosts: Vec<u16>,
@@ -148,6 +169,25 @@ pub fn restore_sharded_with_failures(
     started_at: Duration,
     kill: Option<HostKill>,
 ) -> Result<ShardedRestore> {
+    restore_sharded_with_heat(store, job, target, config, options, started_at, kill, None)
+}
+
+/// [`restore_sharded_with_failures`] with an explicit access-heat model for
+/// priority planning. `heat` matters only when `options.lazy` is set; a
+/// lazy restore without one falls back to uniform heat (priority order
+/// degenerates to key order, but the hot cutoff still bounds the first
+/// batch's working set).
+#[allow(clippy::too_many_arguments)]
+pub fn restore_sharded_with_heat(
+    store: &dyn ObjectStore,
+    job: &str,
+    target: CheckpointId,
+    config: &ModelConfig,
+    options: &RestoreOptions,
+    started_at: Duration,
+    kill: Option<HostKill>,
+    heat: Option<&RowHeat>,
+) -> Result<ShardedRestore> {
     options.validate().map_err(CnrError::Config)?;
     let cache_before = store.cache_stats();
     let hosts = options.reader_hosts.max(1);
@@ -171,7 +211,21 @@ pub fn restore_sharded_with_failures(
     }
     // Chunk fetches may not start before the plan that names them exists.
     fetch_sched.set_floor(fetch_sched.ready_at());
-    let assignments = planner::plan(&chain, hosts);
+    let plan_floor = fetch_sched.ready_at();
+    let row_counts: Vec<usize> = newest.tables.iter().map(|t| t.rows as usize).collect();
+    let uniform_heat;
+    let assignments = if options.lazy {
+        let heat = match heat {
+            Some(h) => h,
+            None => {
+                uniform_heat = RowHeat::uniform(&row_counts);
+                &uniform_heat
+            }
+        };
+        planner::plan_priority(&chain, hosts, heat, options.hot_fraction)
+    } else {
+        planner::plan(&chain, hosts)
+    };
     let jobs: Vec<(u16, Vec<FetchItem>)> = assignments
         .into_iter()
         .enumerate()
@@ -228,16 +282,34 @@ pub fn restore_sharded_with_failures(
     }
 
     // --- Merge: assemble the model bit-identically to the serial path. --
+    // (Lazy mode applies hot chunks only; the cold tail becomes the
+    // LazyRestore, and first batch is stamped at the last hot arrival.)
     let chunks_fetched = decoded.len() as u64;
     let chunk_bytes: u64 = decoded.iter().map(|d| d.bytes).sum();
+    let hot_ready = decoded
+        .iter()
+        .filter(|d| d.hot)
+        .map(|d| d.arrived_at)
+        .max()
+        .unwrap_or(plan_floor);
     let merge_t0 = Instant::now();
-    let merged = merge::merge(&chain, decoded)?;
+    let (merged, lazy_tail) = if options.lazy {
+        let tail = LazyRestore::new(decoded.clone(), &row_counts);
+        (merge::merge_where(&chain, decoded, |c| c.hot)?, Some(tail))
+    } else {
+        (merge::merge(&chain, decoded)?, None)
+    };
     let merge_time = merge_t0.elapsed();
 
     let manifest_bytes: u64 = chain.iter().map(|m| m.encode_enveloped().len() as u64).sum();
     let bytes_read = chunk_bytes + manifest_bytes;
     let shards_merged = chain.iter().map(|m| m.shards.len()).sum();
     let ready_at = fetch_sched.ready_at();
+    let first_batch_at = if options.lazy {
+        hot_ready.max(plan_floor)
+    } else {
+        ready_at
+    };
     let fetch_status = fetch_sched.poll(Duration::MAX);
 
     let cache_hit_rate = match (cache_before, store.cache_stats()) {
@@ -266,6 +338,16 @@ pub fn restore_sharded_with_failures(
         wal_replay: Duration::ZERO,
         wal_replayed_iterations: 0,
         lost_iterations: 0,
+        // Eager: first batch == fully resumed. Lazy: first batch when the
+        // hot set landed; the engine adds drain-wait and WAL replay.
+        time_to_first_batch: first_batch_at.saturating_sub(started_at)
+            + Duration::from_nanos(decode_nanos.load(Ordering::Relaxed))
+            + merge_time,
+        mode: if options.lazy {
+            cnr_cluster::RestoreMode::Lazy
+        } else {
+            cnr_cluster::RestoreMode::Eager
+        },
     };
 
     Ok(ShardedRestore {
@@ -286,6 +368,8 @@ pub fn restore_sharded_with_failures(
         },
         breakdown,
         ready_at,
+        first_batch_at,
+        lazy: lazy_tail,
         killed_hosts,
         fetch_status,
     })
@@ -668,6 +752,18 @@ mod tests {
                 decode_workers: 0,
                 ..RestoreOptions::default()
             },
+            RestoreOptions {
+                hot_fraction: -0.1,
+                ..RestoreOptions::default()
+            },
+            RestoreOptions {
+                hot_fraction: 1.5,
+                ..RestoreOptions::default()
+            },
+            RestoreOptions {
+                hot_fraction: f64::NAN,
+                ..RestoreOptions::default()
+            },
         ] {
             assert!(matches!(
                 restore_sharded(
@@ -706,6 +802,114 @@ mod tests {
             .state
         };
         assert_eq!(run(1), run(6), "worker count must not change output");
+    }
+
+    #[test]
+    fn lazy_restore_plus_drain_is_bit_identical_to_eager() {
+        use cnr_model::state::ModelState;
+        let (model_cfg, snap) = snapshot_after(3, 8);
+        let store = InMemoryStore::new();
+        write_to(&store, &snap, 2);
+        let eager = restore_sharded(
+            &store,
+            "job",
+            CheckpointId(0),
+            &model_cfg,
+            &opts(2),
+            Duration::ZERO,
+        )
+        .unwrap();
+        let row_counts: Vec<usize> = model_cfg.tables.iter().map(|t| t.rows as usize).collect();
+        let heat = RowHeat::zipf(&row_counts, 1.05);
+        for hot_fraction in [0.0, 0.05, 0.5, 1.0] {
+            let options = RestoreOptions {
+                reader_hosts: 2,
+                lazy: true,
+                hot_fraction,
+                ..RestoreOptions::default()
+            };
+            let sharded = restore_sharded_with_heat(
+                &store,
+                "job",
+                CheckpointId(0),
+                &model_cfg,
+                &options,
+                Duration::ZERO,
+                None,
+                Some(&heat),
+            )
+            .unwrap();
+            assert!(
+                sharded.report.rows_applied <= eager.report.rows_applied,
+                "lazy applies at most the eager row count before first batch"
+            );
+            if hot_fraction == 0.0 {
+                assert_eq!(sharded.report.rows_applied, 0, "nothing is hot at K=0");
+            }
+            let mut tail = sharded.lazy.expect("lazy restore returns its cold tail");
+            let mut model = DlrmModel::new(model_cfg.clone());
+            sharded.report.state.restore(&mut model);
+            tail.drain(&mut model).unwrap();
+            assert!(tail.is_drained());
+            assert_eq!(
+                ModelState::extract(&model),
+                eager.report.state,
+                "drained lazy restore bit-identical to eager (hot_fraction={hot_fraction})"
+            );
+            // Chain metadata is mode-independent.
+            assert_eq!(sharded.report.chain, eager.report.chain);
+            assert_eq!(sharded.report.bytes_read, eager.report.bytes_read);
+            assert_eq!(
+                sharded.report.incremental_rows.modified_rows(),
+                eager.report.incremental_rows.modified_rows(),
+                "tracker reseed must see cold incremental rows too"
+            );
+        }
+    }
+
+    #[test]
+    fn lazy_restore_reaches_first_batch_before_full_ready() {
+        let (model_cfg, snap) = snapshot_after(3, 16);
+        let clock = SimClock::new();
+        let store = SimulatedRemoteStore::new(
+            RemoteConfig {
+                bandwidth_bytes_per_sec: 1024.0 * 1024.0,
+                base_latency: Duration::from_micros(50),
+                replication: 1,
+                channels: 2,
+            },
+            clock.clone(),
+        );
+        write_to(&store, &snap, 1);
+        let write_drained = store.wait_for_drain();
+        let row_counts: Vec<usize> = model_cfg.tables.iter().map(|t| t.rows as usize).collect();
+        let heat = RowHeat::zipf(&row_counts, 1.05);
+        let options = RestoreOptions {
+            reader_hosts: 2,
+            lazy: true,
+            hot_fraction: 0.1,
+            ..RestoreOptions::default()
+        };
+        let sharded = restore_sharded_with_heat(
+            &store,
+            "job",
+            CheckpointId(0),
+            &model_cfg,
+            &options,
+            write_drained,
+            None,
+            Some(&heat),
+        )
+        .unwrap();
+        assert!(
+            sharded.first_batch_at < sharded.ready_at,
+            "hot set lands before the cold tail: first_batch={:?} ready={:?}",
+            sharded.first_batch_at,
+            sharded.ready_at
+        );
+        assert!(sharded.breakdown.time_to_first_batch < sharded.breakdown.time_to_resume());
+        let tail = sharded.lazy.expect("cold tail present");
+        assert!(tail.pending_rows() > 0, "something was actually deferred");
     }
 
     #[test]

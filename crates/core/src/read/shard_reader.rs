@@ -36,6 +36,13 @@ pub struct DecodedChunk {
     pub optimizer_state: Option<Vec<f32>>,
     /// Serialized chunk size (bytes fetched).
     pub bytes: u64,
+    /// Simulated time at which the chunk's last range landed. A lazy
+    /// restore stamps first-batch time as the latest arrival among hot
+    /// chunks.
+    pub arrived_at: std::time::Duration,
+    /// Whether the planner required this chunk before first batch
+    /// ([`FetchItem::hot`]).
+    pub hot: bool,
 }
 
 /// What one host's fetch pass produced.
@@ -157,7 +164,7 @@ impl ShardReader<'_> {
             .head(&item.key)
             .map(|m| m.size)
             .unwrap_or(item.bytes);
-        let (bytes, _arrived) = self
+        let (bytes, arrived_at) = self
             .scheduler
             .fetch_chunk(host, &item.key, size, item.parts)?;
         let t0 = Instant::now();
@@ -173,6 +180,8 @@ impl ShardReader<'_> {
             values,
             optimizer_state: payload.optimizer_state,
             bytes: bytes.len() as u64,
+            arrived_at,
+            hot: item.hot,
         })
     }
 

@@ -81,6 +81,18 @@ pub struct ResumeStats {
     /// restored iteration). ≤ 1 with a per-iteration WAL; up to a whole
     /// interval without one.
     pub lost_iterations: u64,
+    /// Time until the first training batch could run: equal to
+    /// `time_to_resume` for eager restores, earlier for lazy ones (the
+    /// tentpole metric — training starts before the restore finishes).
+    pub time_to_first_batch: Duration,
+    /// Whether the restore was eager or lazy (CPR-style partial recovery).
+    pub mode: cnr_cluster::RestoreMode,
+    /// Rows faulted in synchronously because training touched them before
+    /// the background drain finished (lazy restores only; counted, never
+    /// silently dropped).
+    pub fault_in_fetches: u64,
+    /// Simulated time charged to those synchronous fault-in fetches.
+    pub fault_in_time: Duration,
 }
 
 /// Writer-side delta-WAL accounting for a whole run (all zeros when the
@@ -306,6 +318,10 @@ mod tests {
                 wal_replay: Duration::ZERO,
                 wal_replayed_iterations: 0,
                 lost_iterations: 0,
+                time_to_first_batch: Duration::from_secs(*fetch_s + 1),
+                mode: cnr_cluster::RestoreMode::Eager,
+                fault_in_fetches: 0,
+                fault_in_time: Duration::ZERO,
             });
         }
         assert_eq!(s.resumes.len(), 2);

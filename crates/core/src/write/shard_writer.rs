@@ -136,6 +136,9 @@ impl ShardWriter<'_> {
             rows: item.indices.len() as u32,
             bytes,
             parts,
+            table: item.table,
+            first_row: item.indices.first().copied().unwrap_or(u32::MAX),
+            last_row: item.indices.last().copied().unwrap_or(u32::MAX),
         })
     }
 

@@ -44,6 +44,10 @@ pub struct ScrubReport {
     pub repaired: u64,
     /// Keys that could not be read clean from any source.
     pub unrepairable: Vec<String>,
+    /// Keys skipped because the caller marked them in-flight (a lazy
+    /// restore still has fetches outstanding against them); the next
+    /// sweep revisits them.
+    pub skipped_in_flight: u64,
 }
 
 impl ScrubReport {
@@ -58,6 +62,7 @@ impl ScrubReport {
             corrupt_detected: self.corrupt_detected,
             repaired: self.repaired,
             unrepairable: self.unrepairable.len() as u64,
+            skipped_in_flight: self.skipped_in_flight,
         }
     }
 
@@ -70,6 +75,7 @@ impl ScrubReport {
         self.corrupt_detected += other.corrupt_detected;
         self.repaired += other.repaired;
         self.unrepairable.extend(other.unrepairable.iter().cloned());
+        self.skipped_in_flight += other.skipped_in_flight;
     }
 }
 
@@ -82,6 +88,9 @@ pub struct Scrubber<'a> {
     read_attempts: u32,
     /// Whether legacy objects are rewrapped in place.
     upgrade_legacy: bool,
+    /// Keys a lazy restore still has fetches in flight against — skipped
+    /// (and counted), never verified or rewritten mid-fetch.
+    in_flight: std::collections::HashSet<String>,
 }
 
 impl<'a> Scrubber<'a> {
@@ -93,7 +102,18 @@ impl<'a> Scrubber<'a> {
             replica: None,
             read_attempts: 3,
             upgrade_legacy: true,
+            in_flight: std::collections::HashSet::new(),
         }
+    }
+
+    /// Marks keys a concurrent lazy restore still has fetches in flight
+    /// against: the sweep skips them (healing or upgrading an object
+    /// mid-fetch would race the fault-in's read) and counts each skip in
+    /// [`ScrubReport::skipped_in_flight`] so the next sweep knows to
+    /// revisit.
+    pub fn with_in_flight(mut self, keys: impl IntoIterator<Item = String>) -> Self {
+        self.in_flight.extend(keys);
+        self
     }
 
     /// Adds a replica store to heal at-rest damage from.
@@ -125,6 +145,10 @@ impl<'a> Scrubber<'a> {
     pub fn sweep<'k>(&self, keys: impl IntoIterator<Item = &'k str>) -> ScrubReport {
         let mut report = ScrubReport::default();
         for key in keys {
+            if self.in_flight.contains(key) {
+                report.skipped_in_flight += 1;
+                continue;
+            }
             report.scanned += 1;
             self.scrub_one(key, &mut report);
         }
@@ -427,6 +451,36 @@ mod tests {
         assert_eq!(report.corrupt_detected, 1);
         assert_eq!(report.repaired, 0);
         assert_eq!(report.unrepairable, vec![key]);
+    }
+
+    #[test]
+    fn in_flight_keys_are_skipped_not_scrubbed() {
+        let store = InMemoryStore::new();
+        put_enveloped(&store, "job/0/chunk-0", b"cold tail being fetched");
+        put_enveloped(&store, "job/0/chunk-1", b"quiet object");
+        // chunk-0 is damaged *and* has a lazy-restore fetch in flight: the
+        // sweep must neither touch nor report it as corrupt — rewriting it
+        // mid-fetch would race the fault-in's read.
+        poison(&store, "job/0/chunk-0");
+        let before = store.get("job/0/chunk-0").unwrap();
+        let report = Scrubber::new(&store)
+            .with_in_flight(["job/0/chunk-0".to_string()])
+            .sweep(["job/0/chunk-0", "job/0/chunk-1"]);
+        assert_eq!(report.skipped_in_flight, 1);
+        assert_eq!(report.scanned, 1, "only the quiet object is examined");
+        assert_eq!(report.clean, 1);
+        assert_eq!(report.corrupt_detected, 0);
+        assert!(report.unrepairable.is_empty());
+        assert_eq!(
+            store.get("job/0/chunk-0").unwrap(),
+            before,
+            "in-flight object bytes untouched"
+        );
+        assert_eq!(report.findings().skipped_in_flight, 1);
+
+        // Once the fetch lands, the next sweep sees the damage as usual.
+        let next = Scrubber::new(&store).sweep(["job/0/chunk-0"]);
+        assert_eq!(next.corrupt_detected, 1);
     }
 
     #[test]

@@ -54,6 +54,14 @@ impl CoverageAnalyzer {
         }
     }
 
+    /// Whether `(table, row)` has been observed since the last reset. The
+    /// restore planner's heat model consults this to boost rows the current
+    /// access window actually touched when ranking fetch priority.
+    #[inline]
+    pub fn is_touched(&self, table: usize, row: usize) -> bool {
+        self.tables[table].get(row)
+    }
+
     /// Rows touched so far.
     pub fn touched_rows(&self) -> usize {
         self.touched
@@ -167,6 +175,8 @@ mod tests {
         a.observe(1, 3);
         assert_eq!(a.touched_rows(), 2);
         assert!((a.fraction() - 0.1).abs() < 1e-12);
+        assert!(a.is_touched(0, 3) && a.is_touched(1, 3));
+        assert!(!a.is_touched(0, 4));
     }
 
     #[test]

@@ -103,6 +103,15 @@ impl ZipfSampler {
         let z: f64 = (1..=self.n).map(|i| (i as f64).powf(-self.s)).sum();
         ((k + 1) as f64).powf(-self.s) / z
     }
+
+    /// Probability mass of every element `0..n` in one pass: the normalizer
+    /// is computed once, so scoring a whole table costs O(n) instead of the
+    /// O(n²) that per-element [`ZipfSampler::pmf`] calls would. The restore
+    /// planner uses this to rank embedding rows by expected access heat.
+    pub fn pmf_all(&self) -> Vec<f64> {
+        let z: f64 = (1..=self.n).map(|i| (i as f64).powf(-self.s)).sum();
+        (1..=self.n).map(|i| (i as f64).powf(-self.s) / z).collect()
+    }
 }
 
 /// `H(x) = ∫ x^-s dx = (x^(1-s) - 1) / (1 - s)`, with the `s == 1` limit `ln x`.
@@ -231,5 +240,19 @@ mod tests {
         let zipf = ZipfSampler::new(200, 1.3).unwrap();
         let total: f64 = (0..200).map(|k| zipf.pmf(k)).sum();
         assert!((total - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn pmf_all_matches_per_element_pmf() {
+        let zipf = ZipfSampler::new(64, 1.1).unwrap();
+        let all = zipf.pmf_all();
+        assert_eq!(all.len(), 64);
+        for k in 0..64u64 {
+            assert!((all[k as usize] - zipf.pmf(k)).abs() < 1e-12, "k={k}");
+        }
+        // Monotone decreasing: row 0 is the hottest.
+        for pair in all.windows(2) {
+            assert!(pair[0] >= pair[1]);
+        }
     }
 }

@@ -173,4 +173,51 @@ fn main() {
             engine.trainer().model().iteration(),
         );
     }
+    println!();
+
+    // Part 6: lazy (CPR-style) restore — train before the restore
+    // finishes. Same failure, two restore modes over a slow downlink:
+    // eager waits for every embedding row; lazy resumes once the dense
+    // layers plus the hottest 5% of rows are applied, faults cold rows
+    // the next batches touch in on demand, and drains the rest in the
+    // background — converging to the identical model.
+    println!("# lazy restore: first-batch vs full-resume latency");
+    println!("mode,first_batch_ms,full_resume_ms,pending_rows_at_first_batch,fault_in_fetches");
+    for lazy in [false, true] {
+        let spec = DatasetSpec::tiny(99);
+        let model_cfg = ModelConfig::for_dataset(&spec, 16);
+        let mut b = EngineBuilder::new(spec, model_cfg)
+            .checkpoint_every_batches(5)
+            .cluster_shape(1, 2)
+            .writer_hosts(4)
+            .reader_hosts(2)
+            .remote_config(RemoteConfig {
+                bandwidth_bytes_per_sec: 64.0 * 1024.0,
+                base_latency: Duration::from_micros(100),
+                replication: 1,
+                channels: 2,
+            });
+        if lazy {
+            b = b.lazy_restore(0.05); // dense + hottest 5% before first batch
+        }
+        let mut engine = b.build().expect("engine construction");
+        // Fail 3 batches past the checkpoint at 10, so the tracker's
+        // recent working set leaves a genuine cold tail to defer.
+        engine.train_batches(13).expect("training");
+        engine.simulate_failure_and_restore().expect("restore");
+        let pending = engine.pending_lazy().map_or(0, |l| l.pending_rows());
+        // Train through the drain window (cold rows fault in on demand),
+        // then finish the background drain.
+        engine.train_batches(3).expect("training past restore");
+        engine.drain_lazy_restore().expect("drain");
+        let resume = engine.stats().resumes.last().expect("resume");
+        println!(
+            "{},{:.2},{:.2},{},{}",
+            if lazy { "lazy" } else { "eager" },
+            resume.time_to_first_batch.as_secs_f64() * 1000.0,
+            resume.time_to_resume.as_secs_f64() * 1000.0,
+            pending,
+            resume.fault_in_fetches,
+        );
+    }
 }
