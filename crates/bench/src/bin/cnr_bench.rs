@@ -4,6 +4,7 @@
 //! ```text
 //! cargo run --release -p cnr_bench --bin cnr_bench            # full mode
 //! cargo run --release -p cnr_bench --bin cnr_bench -- --quick # CI mode
+//! cargo run ... -- --timeline    # also emit BENCH_timeline.jsonl + .prom
 //! cargo run ... -- --out-dir some/dir                         # elsewhere
 //! ```
 //!
@@ -14,16 +15,19 @@
 //! comparable within one machine's history, so each document carries a
 //! `machine` block (cores/os/arch) identifying the emitter.
 
+use cnr_bench::timeline::lifecycle_timeline;
 use cnr_bench::trajectory::{quant_records, restore_records, to_json, wal_records, MachineInfo};
 use std::path::PathBuf;
 
 fn main() {
     let mut quick = false;
+    let mut timeline = false;
     let mut out_dir = PathBuf::from(".");
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--timeline" => timeline = true,
             "--out-dir" => {
                 out_dir = PathBuf::from(
                     args.next().expect("--out-dir requires a directory argument"),
@@ -31,7 +35,7 @@ fn main() {
             }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: cnr_bench [--quick] [--out-dir <dir>]");
+                eprintln!("usage: cnr_bench [--quick] [--timeline] [--out-dir <dir>]");
                 std::process::exit(2);
             }
         }
@@ -60,4 +64,24 @@ fn main() {
     std::fs::write(&wal_path, to_json("wal", mode, &machine, &wal))
         .expect("write BENCH_wal.json");
     println!("wrote {} ({} records)", wal_path.display(), wal.len());
+
+    // Opt-in: the checkpoint-lifecycle timeline (Chrome trace_event JSONL)
+    // plus a Prometheus-style metrics snapshot. Structure is deterministic
+    // but durations mix in wall-clock CPU time (quantize/decode/merge), so
+    // the bytes are machine-dependent; validated before writing.
+    if timeline {
+        let t = match lifecycle_timeline(quick) {
+            Ok(t) => t,
+            Err(err) => {
+                eprintln!("timeline export failed validation: {err}");
+                std::process::exit(1);
+            }
+        };
+        let trace_path = out_dir.join("BENCH_timeline.jsonl");
+        std::fs::write(&trace_path, &t.trace_jsonl).expect("write BENCH_timeline.jsonl");
+        println!("wrote {} ({} spans)", trace_path.display(), t.spans);
+        let metrics_path = out_dir.join("BENCH_metrics.prom");
+        std::fs::write(&metrics_path, &t.metrics_text).expect("write BENCH_metrics.prom");
+        println!("wrote {}", metrics_path.display());
+    }
 }

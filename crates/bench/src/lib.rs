@@ -12,6 +12,7 @@
 //! figure.
 
 pub mod figures;
+pub mod timeline;
 pub mod trajectory;
 pub mod workloads;
 

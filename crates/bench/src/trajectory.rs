@@ -22,7 +22,9 @@
 //!   never show a threaded-decode win).
 //!
 //! The JSON is hand-rolled (the workspace vendors no serde_json): flat
-//! records, stable ids, three decimals, so diffs stay reviewable.
+//! records, stable ids, three decimals, so diffs stay reviewable. The
+//! string escaping is [`cnr_obs::json::escape`] — the same routine the
+//! trace exporter uses, so the two hand-rolled writers cannot drift.
 
 use cnr_cluster::SimClock;
 use cnr_core::config::{CheckpointConfig, DeltaWalConfig};
@@ -34,6 +36,7 @@ use cnr_core::snapshot::SnapshotTaker;
 use cnr_core::write::CheckpointWriter;
 use cnr_core::TrainingSnapshot;
 use cnr_model::{DlrmModel, ModelConfig, ShardPlan};
+use cnr_obs::json::escape;
 use cnr_quant::QuantScheme;
 use cnr_reader::ReaderState;
 use cnr_storage::{InMemoryStore, RemoteConfig, SimulatedRemoteStore};
@@ -134,17 +137,6 @@ pub fn to_json(suite: &str, mode: &str, machine: &MachineInfo, records: &[BenchR
     }
     out.push_str("  ]\n}\n");
     out
-}
-
-fn escape(s: &str) -> String {
-    s.chars()
-        .flat_map(|c| match c {
-            '"' => vec!['\\', '"'],
-            '\\' => vec!['\\', '\\'],
-            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
-            c => vec![c],
-        })
-        .collect()
 }
 
 fn take_full_snapshot(

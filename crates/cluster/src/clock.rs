@@ -67,6 +67,17 @@ impl SimClock {
     }
 }
 
+/// Spans recorded against a `SimClock` stamp *simulated* time: the
+/// observability layer's clock trait has the same shape as the inherent
+/// [`SimClock::now`], so an `Arc<SimClock>` plugs straight into
+/// `cnr_obs::Obs::new` and checkpoint/restore span trees line up with the
+/// engine's simulated timeline.
+impl cnr_obs::Clock for SimClock {
+    fn now(&self) -> Duration {
+        SimClock::now(self)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -95,6 +106,16 @@ mod tests {
         // Going backwards is a no-op.
         c.advance_to(Duration::from_secs(5));
         assert_eq!(c.now(), Duration::from_secs(10));
+    }
+
+    #[test]
+    fn sim_clock_implements_the_obs_clock_trait() {
+        let c = SimClock::new();
+        c.advance(Duration::from_millis(9));
+        let dyn_clock: Arc<dyn cnr_obs::Clock> = Arc::new(c.clone());
+        assert_eq!(dyn_clock.now(), Duration::from_millis(9));
+        c.advance(Duration::from_millis(1));
+        assert_eq!(dyn_clock.now(), Duration::from_millis(10));
     }
 
     #[test]

@@ -143,6 +143,22 @@ impl ResumeBreakdown {
     pub fn time_to_resume(&self) -> Duration {
         self.drain_wait + self.fetch + self.decode + self.merge + self.wal_replay
     }
+
+    /// The sequential phases of [`Self::time_to_resume`], in execution
+    /// order, as `(span name, duration)` pairs. This is the single source
+    /// of truth for the restore span layout: the observability layer lays
+    /// these end to end under the `restore` root span, so their sum is the
+    /// root's duration *by construction* and the span-tree invariant checks
+    /// reduce to this identity.
+    pub fn phases(&self) -> [(&'static str, Duration); 5] {
+        [
+            ("restore.drain_wait", self.drain_wait),
+            ("restore.fetch", self.fetch),
+            ("restore.decode", self.decode),
+            ("restore.merge", self.merge),
+            ("restore.wal_replay", self.wal_replay),
+        ]
+    }
 }
 
 /// One recorded recovery event.

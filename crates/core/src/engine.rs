@@ -26,6 +26,7 @@ use crate::controller::CheckpointController;
 use crate::delta_log::DeltaRecord;
 use crate::error::{CnrError, Result};
 use crate::manifest::{CheckpointId, CheckpointKind};
+use crate::observe;
 use crate::policy::PolicyEngine;
 use crate::read;
 use crate::restore::RestoreReport;
@@ -60,6 +61,7 @@ pub struct EngineBuilder {
     gpus_per_node: u32,
     restore_failures: FailureModel,
     scrub_interval: Option<Duration>,
+    observers: Vec<Arc<dyn cnr_obs::ObsSink>>,
 }
 
 impl EngineBuilder {
@@ -77,6 +79,7 @@ impl EngineBuilder {
             gpus_per_node: 8,
             restore_failures: FailureModel::None,
             scrub_interval: None,
+            observers: Vec::new(),
         }
     }
 
@@ -199,6 +202,17 @@ impl EngineBuilder {
         self
     }
 
+    /// Registers an [`cnr_obs::ObsSink`] that streams every completed
+    /// span as it is recorded (see the sink contract on the trait). The
+    /// engine always records spans and metrics into its own
+    /// [`cnr_obs::Obs`] pipeline — reachable via [`Engine::obs`] — so a
+    /// sink is only needed for live streaming; exporting after the run
+    /// via [`cnr_obs::export`] needs none.
+    pub fn observer(mut self, sink: Arc<dyn cnr_obs::ObsSink>) -> Self {
+        self.observers.push(sink);
+        self
+    }
+
     /// Builds the engine.
     pub fn build(self) -> Result<Engine> {
         self.ckpt.validate().map_err(CnrError::Config)?;
@@ -226,14 +240,25 @@ impl EngineBuilder {
             self.job.clone(),
             self.ckpt.retained_chains,
         );
+        // The engine's telemetry pipeline reads the same simulated clock
+        // the run does, so spans land on the simulation timeline. The WAL
+        // writer mirrors its counters straight into this registry —
+        // `stats.wal` is then *derived* from it, never hand-accumulated.
+        let obs = cnr_obs::Obs::new(Arc::new(clock.clone()));
+        for sink in self.observers {
+            obs.add_sink(sink);
+        }
         let wal = self.ckpt.delta_wal.map(|w| {
-            WalWriter::new(
+            let mut writer = WalWriter::new(
                 store.clone() as Arc<dyn ObjectStore>,
                 &self.job,
                 w.writer_config(),
-            )
+            );
+            writer.set_obs(obs.clone());
+            writer
         });
         Ok(Engine {
+            obs,
             dataset,
             reader,
             trainer,
@@ -278,6 +303,10 @@ pub struct FailureRunReport {
 
 /// The running engine.
 pub struct Engine {
+    /// Telemetry pipeline: spans + metrics registry on the simulated
+    /// clock. `stats.wal` is derived from its registry; the checkpoint
+    /// and restore lifecycles record span trees into it.
+    obs: cnr_obs::Obs,
     dataset: SyntheticDataset,
     reader: ReaderMaster,
     trainer: Trainer,
@@ -383,8 +412,15 @@ impl Engine {
         if receipt.is_some() {
             let cost = cfg.sync_cost(self.wal_unsynced_bytes);
             self.wal_unsynced_bytes = 0;
+            let sync_start = self.clock.now();
             self.clock.advance(cost);
-            self.stats.wal.sync_time += cost;
+            self.obs
+                .registry()
+                .counter_add(cnr_obs::names::WAL_SYNC_TIME_NS, cost.as_nanos() as u64);
+            self.obs.record(
+                cnr_obs::Span::new(cnr_obs::names::SPAN_WAL_SYNC, sync_start, sync_start + cost)
+                    .with_attr("iteration", (batch.index + 1).to_string()),
+            );
             let live = writer.live_segments();
             self.controller.set_wal_segments(live);
         }
@@ -392,16 +428,14 @@ impl Engine {
         Ok(())
     }
 
-    /// Mirrors the WAL writer's lifetime counters into the run stats
-    /// (`sync_time` accumulates separately as each sync is charged).
+    /// Re-derives `stats.wal` from the metrics registry. The WAL writer
+    /// mirrors its lifetime counters into the registry as they happen
+    /// (see `cnr_storage::wal`) and [`Engine::wal_append`] charges sync
+    /// time there, so the registry is the single accumulation point and
+    /// [`crate::stats::WalRunStats`] is a pure readback of it.
     fn refresh_wal_stats(&mut self) {
-        if let Some(w) = &self.wal {
-            let s = w.stats();
-            self.stats.wal.appends = s.appends;
-            self.stats.wal.syncs = s.syncs;
-            self.stats.wal.bytes_appended = s.bytes_appended;
-            self.stats.wal.segments_rotated = s.segments_rotated;
-            self.stats.wal.truncations = s.truncations;
+        if self.wal.is_some() {
+            self.stats.wal = observe::wal_run_stats(self.obs.registry());
         }
     }
 
@@ -433,6 +467,7 @@ impl Engine {
         // the stall and quantize below happen concurrently with the drain.
         let uploads_after = self.uploads_durable_at;
 
+        let boundary_at = self.clock.now();
         let reader_state = self.reader.collect_state();
         let decision = self.policy.decide();
         let scheme = self.current_scheme();
@@ -500,7 +535,7 @@ impl Engine {
 
         let full_ref = self.stats.full_reference_bytes.max(1) as f64;
         let interval = self.stats.intervals.len() as u32;
-        self.stats.push(IntervalStats {
+        let row = IntervalStats {
             interval,
             checkpoint: id,
             kind: decision.kind,
@@ -511,7 +546,25 @@ impl Engine {
             write_latency: record.write_latency,
             stall: snapshot.stall,
             quantize_cpu_time: record.quantize_cpu_time,
-        });
+        };
+        observe::record_interval(&self.obs, &row);
+        observe::record_checkpoint_spans(
+            &self.obs,
+            &observe::CheckpointSpanTimes {
+                boundary_at,
+                stall: snapshot.stall,
+                quantize_cpu: record.quantize_cpu_time,
+                issued_at: record.completed_at.saturating_sub(record.write_latency),
+                completed_at: record.completed_at,
+                registered_at: self.clock.now(),
+                chunks: record.manifest.chunks.len() as u64,
+                parts: u64::from(record.parts),
+                stored_bytes: record.stored_bytes,
+                live_bytes: self.controller.live_bytes(),
+            },
+            interval,
+        );
+        self.stats.push(row);
 
         // Background scrub: interval boundaries are where the job has spare
         // cycles, so a due sweep piggybacks here.
@@ -534,7 +587,10 @@ impl Engine {
     /// into the sweep log.
     pub fn scrub_now(&mut self, replica: Option<&dyn ObjectStore>) -> Result<ScrubFindings> {
         let keys = self.controller.live_keys();
-        let mut scrubber = Scrubber::new(self.store.as_ref());
+        // The scrubber records its findings (SCRUB_* counters + the sweep
+        // span) into the engine's registry itself — single accumulation
+        // point, no mirroring here.
+        let mut scrubber = Scrubber::new(self.store.as_ref()).with_obs(self.obs.clone());
         if let Some(lazy) = &self.pending_lazy {
             // A lazy restore's on-demand fault-ins read the same objects a
             // sweep would rewrite (legacy upgrade / heal): skip keys with
@@ -601,6 +657,7 @@ impl Engine {
         if fetches > 0 {
             let cost = self.store.read_transfer_time(bytes);
             self.clock.advance(cost);
+            observe::record_fault_in(&self.obs, fetches, cost);
             if let Some(r) = self.stats.resumes.last_mut() {
                 r.fault_in_fetches += fetches;
                 r.fault_in_time += cost;
@@ -622,8 +679,15 @@ impl Engine {
         let Some(mut lazy) = self.pending_lazy.take() else {
             return Ok(0);
         };
+        let drain_start = self.clock.now();
         self.clock.advance_to(self.lazy_drain_done_at);
         let outcome = lazy.drain(self.trainer.model_mut())?;
+        observe::record_lazy_drain_span(
+            &self.obs,
+            drain_start,
+            self.clock.now(),
+            outcome.rows_materialized,
+        );
         Ok(outcome.rows_materialized)
     }
 
@@ -885,30 +949,29 @@ impl Engine {
         } else {
             RestorePoint::Checkpoint
         };
+        // One source of truth: the stats row is derived from the breakdown
+        // (fault-in fields start at zero and accumulate per batch), the
+        // registry gets the same row, and the span tree is laid out from
+        // the same phases — the three can only agree.
+        let row = ResumeStats::from_breakdown(self.restores, latest, &breakdown);
+        observe::record_resume(
+            &self.obs,
+            &row,
+            breakdown.chunks_fetched,
+            breakdown.rescheduled_chunks,
+            sharded.fetch_status.retries_performed,
+        );
+        observe::record_restore_spans(
+            &self.obs,
+            self.restores,
+            failed_at,
+            &breakdown,
+            &sharded.host_activity,
+            sharded.plan_ready_at,
+            started_at,
+        );
         self.recovery.record(failed_at, breakdown);
-        self.stats.push_resume(ResumeStats {
-            resume: self.restores,
-            checkpoint: latest,
-            reader_hosts: breakdown.reader_hosts,
-            drain_wait: breakdown.drain_wait,
-            fetch: breakdown.fetch,
-            decode: breakdown.decode,
-            merge: breakdown.merge,
-            time_to_resume: breakdown.time_to_resume(),
-            bytes_fetched: breakdown.bytes_fetched,
-            corruption_detected: breakdown.corruption_detected,
-            corruption_repaired: breakdown.corruption_repaired,
-            corruption_refetches: breakdown.corruption_refetches,
-            cache_hit_rate: breakdown.cache_hit_rate,
-            restore_point: breakdown.restore_point,
-            wal_replay: breakdown.wal_replay,
-            wal_replayed_iterations: breakdown.wal_replayed_iterations,
-            lost_iterations: breakdown.lost_iterations,
-            time_to_first_batch: breakdown.time_to_first_batch,
-            mode: breakdown.mode,
-            fault_in_fetches: 0,
-            fault_in_time: Duration::ZERO,
-        });
+        self.stats.push_resume(row);
 
         // Stash the cold tail: batches fault rows in on demand until the
         // background drain completes (`lazy_drain_done_at`).
@@ -1014,6 +1077,13 @@ impl Engine {
     /// Run statistics so far.
     pub fn stats(&self) -> &RunStats {
         &self.stats
+    }
+
+    /// The telemetry pipeline: recorded spans and the metrics registry
+    /// every lifecycle event feeds (the source [`RunStats`] aggregates
+    /// are derived from). Export with [`cnr_obs::export`].
+    pub fn obs(&self) -> &cnr_obs::Obs {
+        &self.obs
     }
 
     /// The trainer.
@@ -1975,5 +2045,184 @@ mod tests {
             "lazy + WAL tail + drain must be bit-identical to the tip"
         );
         assert_eq!(a.trainer().model().iteration(), 13);
+    }
+
+    /// The `ResumeStats::time_to_resume` doc promise: the total is exactly
+    /// the sum of the five phases — including WAL replay — in every mode,
+    /// and lazy fault-in time is accounted *outside* it.
+    #[test]
+    fn time_to_resume_is_the_sum_of_its_phases_in_every_mode() {
+        let engines: Vec<Engine> = vec![
+            builder().build().unwrap(),
+            builder().delta_wal(DeltaWalConfig::default()).build().unwrap(),
+            lazy_builder(0.05).build().unwrap(),
+            lazy_builder(0.05)
+                .delta_wal(DeltaWalConfig::default())
+                .build()
+                .unwrap(),
+        ];
+        for mut e in engines {
+            e.train_batches(13).unwrap();
+            e.simulate_failure_and_restore().unwrap();
+            e.train_batches(2).unwrap(); // lazy modes accrue fault-in time
+            let r = e.stats().resumes.last().unwrap();
+            assert_eq!(
+                r.time_to_resume,
+                r.drain_wait + r.fetch + r.decode + r.merge + r.wal_replay,
+                "time_to_resume must equal its documented phase sum ({:?})",
+                r.mode,
+            );
+            let event = e.recovery().events().last().unwrap();
+            let phase_sum: Duration =
+                event.breakdown.phases().iter().map(|(_, d)| *d).sum();
+            assert_eq!(phase_sum, r.time_to_resume, "phases() is the same identity");
+            assert!(r.time_to_first_batch <= r.time_to_resume);
+        }
+    }
+
+    /// The tentpole contract: `RunStats` aggregates equal the metrics
+    /// registry's, because both are fed from (or derived out of) the same
+    /// single accumulation points.
+    #[test]
+    fn run_stats_agree_with_the_metrics_registry() {
+        use cnr_obs::names;
+        let mut e = lazy_builder(0.05)
+            .delta_wal(DeltaWalConfig::default())
+            .scrub_every(Duration::from_millis(1))
+            .build()
+            .unwrap();
+        e.train_batches(13).unwrap();
+        e.simulate_failure_and_restore().unwrap();
+        e.train_batches(4).unwrap(); // crosses a boundary: another checkpoint
+        e.scrub_now(None).unwrap();
+        let reg = e.obs().registry();
+        let s = e.stats();
+
+        // Checkpoint intervals.
+        assert_eq!(reg.counter(names::CKPT_INTERVALS), s.intervals.len() as u64);
+        assert_eq!(
+            reg.counter(names::CKPT_FULL) + reg.counter(names::CKPT_INCREMENTAL),
+            s.intervals.len() as u64
+        );
+        assert_eq!(
+            reg.counter(names::CKPT_STORED_BYTES),
+            s.intervals.iter().map(|i| i.stored_bytes).sum::<u64>()
+        );
+        let lat_sum: Duration = s.intervals.iter().map(|i| i.write_latency).sum();
+        assert_eq!(reg.duration_sum(names::CKPT_WRITE_LATENCY_NS), lat_sum);
+        let stall_sum: Duration = s.intervals.iter().map(|i| i.stall).sum();
+        assert_eq!(reg.duration_sum(names::CKPT_STALL_NS), stall_sum);
+        assert_eq!(
+            reg.gauge(names::CKPT_CAPACITY_BYTES),
+            Some(s.intervals.last().unwrap().capacity_bytes as f64)
+        );
+
+        // Restores, including fault-in accrued after the resume row landed.
+        assert_eq!(reg.counter(names::RESTORE_RESUMES), s.resumes.len() as u64);
+        assert_eq!(reg.counter(names::RESTORE_LAZY), 1);
+        assert_eq!(
+            reg.counter(names::RESTORE_BYTES_FETCHED),
+            s.resumes.iter().map(|r| r.bytes_fetched).sum::<u64>()
+        );
+        let ttr_sum: Duration = s.resumes.iter().map(|r| r.time_to_resume).sum();
+        assert_eq!(reg.duration_sum(names::RESTORE_TIME_TO_RESUME_NS), ttr_sum);
+        let replay_sum: Duration = s.resumes.iter().map(|r| r.wal_replay).sum();
+        assert_eq!(reg.duration_sum(names::RESTORE_WAL_REPLAY_NS), replay_sum);
+        assert_eq!(
+            reg.counter(names::RESTORE_WAL_REPLAYED_ITERATIONS),
+            s.resumes.iter().map(|r| r.wal_replayed_iterations).sum::<u64>()
+        );
+        // WAL: `stats.wal` *is* the registry readback; spot-check the
+        // registry against the writer-visible truth.
+        assert_eq!(s.wal, observe::wal_run_stats(reg));
+        assert!(s.wal.appends > 0);
+        assert_eq!(reg.counter(names::WAL_APPENDS), s.wal.appends);
+        assert_eq!(
+            Duration::from_nanos(reg.counter(names::WAL_SYNC_TIME_NS)),
+            s.wal.sync_time
+        );
+
+        // Scrub sweeps.
+        assert_eq!(reg.counter(names::SCRUB_SWEEPS), s.scrubs.len() as u64);
+        assert_eq!(
+            reg.counter(names::SCRUB_SCANNED),
+            s.scrubs.iter().map(|x| x.findings.scanned).sum::<u64>()
+        );
+
+        // Fault-in accrues *after* the resume row lands — assert the
+        // registry keeps pace using the WAL-free recipe (WAL replay time
+        // closes the drain window before a batch can fault in).
+        let mut f = lazy_builder(0.05).build().unwrap();
+        f.train_batches(13).unwrap();
+        f.simulate_failure_and_restore().unwrap();
+        f.train_batches(4).unwrap();
+        let (reg, s) = (f.obs().registry(), f.stats());
+        let fault_fetches: u64 = s.resumes.iter().map(|r| r.fault_in_fetches).sum();
+        assert!(fault_fetches > 0, "lazy run must exercise fault-in");
+        assert_eq!(reg.counter(names::RESTORE_FAULT_IN_FETCHES), fault_fetches);
+        let fault_time: Duration = s.resumes.iter().map(|r| r.fault_in_time).sum();
+        assert_eq!(reg.duration_sum(names::RESTORE_FAULT_IN_NS), fault_time);
+    }
+
+    /// The full lifecycle (checkpoints, failure, lazy restore, WAL replay,
+    /// fault-in, drain, scrub) emits a structurally valid span tree whose
+    /// restore root equals `time_to_resume`, and both exporters accept it.
+    #[test]
+    fn full_lifecycle_emits_a_valid_exportable_span_tree() {
+        use cnr_obs::names;
+        let mut e = lazy_builder(0.05)
+            .delta_wal(DeltaWalConfig::default())
+            .scrub_every(Duration::from_millis(1))
+            .build()
+            .unwrap();
+        e.train_batches(13).unwrap();
+        e.simulate_failure_and_restore().unwrap();
+        e.train_batches(2).unwrap();
+        e.drain_lazy_restore().unwrap();
+        e.scrub_now(None).unwrap();
+
+        let spans = e.obs().spans();
+        cnr_obs::span::validate_tree(&spans).expect("span tree invariants");
+        for name in [
+            names::SPAN_CHECKPOINT,
+            names::SPAN_CHECKPOINT_SNAPSHOT,
+            names::SPAN_CHECKPOINT_QUANTIZE,
+            names::SPAN_CHECKPOINT_UPLOAD,
+            names::SPAN_CHECKPOINT_REGISTER,
+            names::SPAN_RESTORE,
+            names::SPAN_RESTORE_PLAN,
+            names::SPAN_RESTORE_DRAIN_WAIT,
+            names::SPAN_RESTORE_FETCH,
+            names::SPAN_RESTORE_FETCH_HOST,
+            names::SPAN_RESTORE_WAL_REPLAY,
+            names::SPAN_RESTORE_FIRST_BATCH,
+            names::SPAN_RESTORE_LAZY_DRAIN,
+            names::SPAN_WAL_SYNC,
+            names::SPAN_WAL_TRUNCATE,
+            names::SPAN_SCRUB_SWEEP,
+        ] {
+            assert!(
+                spans.iter().any(|s| s.name == name),
+                "lifecycle must emit a {name} span"
+            );
+        }
+        let root = spans.iter().find(|s| s.name == names::SPAN_RESTORE).unwrap();
+        assert_eq!(
+            root.duration(),
+            e.stats().resumes[0].time_to_resume,
+            "restore root duration is time_to_resume by construction"
+        );
+        let phase_sum: Duration = spans
+            .iter()
+            .filter(|s| s.parent == Some(root.id) && s.kind == cnr_obs::SpanKind::Sync)
+            .map(|s| s.duration())
+            .sum();
+        assert_eq!(phase_sum, root.duration(), "phases tile the root exactly");
+
+        let trace = cnr_obs::export::chrome_trace_jsonl(&spans);
+        cnr_obs::export::validate_trace_jsonl(&trace).expect("chrome trace schema");
+        let prom = cnr_obs::export::prometheus_text(&e.obs().registry().snapshot());
+        assert!(prom.contains("cnr_restore_resumes_total 1"));
+        assert!(prom.contains("cnr_checkpoint_intervals_total"));
     }
 }

@@ -39,6 +39,7 @@ pub mod engine;
 pub mod error;
 pub mod frequency;
 pub mod manifest;
+pub mod observe;
 pub mod policy;
 pub mod predictor;
 pub mod read;
@@ -54,7 +55,7 @@ pub use delta_log::DeltaRecord;
 pub use engine::{Engine, EngineBuilder};
 pub use error::CnrError;
 pub use manifest::{CheckpointId, CheckpointKind, Manifest};
-pub use read::{FetchScheduler, FetchStatus, RestoreOptions, ShardedRestore};
+pub use read::{FetchScheduler, FetchStatus, HostActivity, RestoreOptions, ShardedRestore};
 pub use snapshot::TrainingSnapshot;
 pub use stats::{IntervalStats, ResumeStats, WalRunStats};
 pub use write::{CheckpointRecord, CheckpointWriter, UploadScheduler, UploadStatus};

@@ -115,6 +115,21 @@ impl RestoreOptions {
     }
 }
 
+/// Fetch activity of one reader host during a sharded restore, for
+/// per-host timeline spans and load-balance diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HostActivity {
+    /// Reader host id (shard index).
+    pub host: u16,
+    /// Chunks this host fetched and decoded (including rescued chunks it
+    /// absorbed from a dead host).
+    pub chunks: u64,
+    /// Total chunk payload bytes this host fetched.
+    pub bytes: u64,
+    /// Absolute simulated time of this host's last chunk arrival.
+    pub last_arrival: Duration,
+}
+
 /// Outcome of a sharded restore: the serial-compatible report plus the
 /// recovery pipeline's accounting.
 #[derive(Debug, Clone)]
@@ -138,6 +153,13 @@ pub struct ShardedRestore {
     pub killed_hosts: Vec<u16>,
     /// Final fetch-scheduler counters (parts, stalls, retries).
     pub fetch_status: FetchStatus,
+    /// Per-host fetch activity (one entry per host that fetched at least
+    /// one chunk, ordered by host id).
+    pub host_activity: Vec<HostActivity>,
+    /// Absolute simulated time at which the restore plan existed: the
+    /// manifest chain was walked and validated, so chunk fetches could
+    /// begin. Equals the fetch floor the scheduler enforces.
+    pub plan_ready_at: Duration,
 }
 
 /// Restores checkpoint `target` across `options.reader_hosts` parallel
@@ -245,7 +267,9 @@ pub fn restore_sharded_with_heat(
     let mut decoded: Vec<DecodedChunk> = Vec::new();
     let mut killed_hosts: Vec<u16> = Vec::new();
     let mut unread: Vec<FetchItem> = Vec::new();
+    let mut host_activity: Vec<HostActivity> = Vec::new();
     for outcome in outcomes {
+        note_activity(&mut host_activity, outcome.host, &outcome.decoded);
         decoded.extend(outcome.decoded);
         if outcome.killed {
             killed_hosts.push(outcome.host);
@@ -277,6 +301,7 @@ pub fn restore_sharded_with_heat(
             None,
         )?;
         for outcome in rescue {
+            note_activity(&mut host_activity, outcome.host, &outcome.decoded);
             decoded.extend(outcome.decoded);
         }
     }
@@ -292,6 +317,7 @@ pub fn restore_sharded_with_heat(
         .map(|d| d.arrived_at)
         .max()
         .unwrap_or(plan_floor);
+    host_activity.sort_by_key(|a| a.host);
     let merge_t0 = Instant::now();
     let (merged, lazy_tail) = if options.lazy {
         let tail = LazyRestore::new(decoded.clone(), &row_counts);
@@ -372,7 +398,34 @@ pub fn restore_sharded_with_heat(
         lazy: lazy_tail,
         killed_hosts,
         fetch_status,
+        host_activity,
+        plan_ready_at: plan_floor,
     })
+}
+
+/// Folds one host's fetch-pass outcome into the per-host activity table
+/// (a killed host's partial work and a survivor's rescue share both
+/// accrue to the host that actually fetched the chunks).
+fn note_activity(activity: &mut Vec<HostActivity>, host: u16, decoded: &[DecodedChunk]) {
+    if decoded.is_empty() {
+        return;
+    }
+    let chunks = decoded.len() as u64;
+    let bytes: u64 = decoded.iter().map(|d| d.bytes).sum();
+    let last = decoded.iter().map(|d| d.arrived_at).max().unwrap_or_default();
+    match activity.iter_mut().find(|a| a.host == host) {
+        Some(a) => {
+            a.chunks += chunks;
+            a.bytes += bytes;
+            a.last_arrival = a.last_arrival.max(last);
+        }
+        None => activity.push(HostActivity {
+            host,
+            chunks,
+            bytes,
+            last_arrival: last,
+        }),
+    }
 }
 
 /// Walks the chain of base pointers from `target` back to its full

@@ -56,7 +56,10 @@ pub struct ResumeStats {
     pub decode: Duration,
     /// CPU time spent merging decoded rows into model state.
     pub merge: Duration,
-    /// Total time-to-resume (drain wait + fetch + decode + merge).
+    /// Total time-to-resume: drain wait + fetch + decode + merge + WAL
+    /// replay (the identity is asserted in the engine's tests). Lazy
+    /// restores additionally pay [`Self::fault_in_time`] *after* resuming —
+    /// that cost accrues to the training timeline, not to this field.
     pub time_to_resume: Duration,
     /// Logical bytes fetched (chunks + manifests).
     pub bytes_fetched: u64,
@@ -93,6 +96,44 @@ pub struct ResumeStats {
     pub fault_in_fetches: u64,
     /// Simulated time charged to those synchronous fault-in fetches.
     pub fault_in_time: Duration,
+}
+
+impl ResumeStats {
+    /// Builds the record straight from a finished restore's
+    /// [`ResumeBreakdown`](cnr_cluster::ResumeBreakdown) — the single
+    /// derivation point shared by the engine and the observability layer,
+    /// so the stats row, the registry metrics, and the span tree can never
+    /// drift apart. Fault-in fields start at zero; they accrue on the
+    /// record as training touches cold rows.
+    pub fn from_breakdown(
+        resume: u32,
+        checkpoint: CheckpointId,
+        b: &cnr_cluster::ResumeBreakdown,
+    ) -> Self {
+        Self {
+            resume,
+            checkpoint,
+            reader_hosts: b.reader_hosts,
+            drain_wait: b.drain_wait,
+            fetch: b.fetch,
+            decode: b.decode,
+            merge: b.merge,
+            time_to_resume: b.time_to_resume(),
+            bytes_fetched: b.bytes_fetched,
+            corruption_detected: b.corruption_detected,
+            corruption_repaired: b.corruption_repaired,
+            corruption_refetches: b.corruption_refetches,
+            cache_hit_rate: b.cache_hit_rate,
+            restore_point: b.restore_point,
+            wal_replay: b.wal_replay,
+            wal_replayed_iterations: b.wal_replayed_iterations,
+            lost_iterations: b.lost_iterations,
+            time_to_first_batch: b.time_to_first_batch,
+            mode: b.mode,
+            fault_in_fetches: 0,
+            fault_in_time: Duration::ZERO,
+        }
+    }
 }
 
 /// Writer-side delta-WAL accounting for a whole run (all zeros when the
@@ -189,30 +230,53 @@ impl RunStats {
         self.resumes.iter().map(|r| r.time_to_resume).sum()
     }
 
-    /// Mean time-to-resume per recovery (zero when none happened).
+    /// Mean time-to-resume per recovery, or `None` when no recovery has
+    /// been recorded — the typed empty state. Prefer this in new code;
+    /// [`Self::mean_time_to_resume`] keeps the zero-defaulting shape for
+    /// report-style call sites.
+    pub fn try_mean_time_to_resume(&self) -> Option<Duration> {
+        let n = u32::try_from(self.resumes.len()).ok().filter(|&n| n > 0)?;
+        Some(self.total_resume_time() / n)
+    }
+
+    /// Mean time-to-resume per recovery. **Documented zero** when no
+    /// recovery has been recorded (an empty series is not divided); use
+    /// [`Self::try_mean_time_to_resume`] to distinguish "no recoveries"
+    /// from "instant recoveries".
     pub fn mean_time_to_resume(&self) -> Duration {
-        if self.resumes.is_empty() {
-            return Duration::ZERO;
-        }
-        self.total_resume_time() / self.resumes.len() as u32
+        self.try_mean_time_to_resume().unwrap_or(Duration::ZERO)
+    }
+
+    /// Mean bytes stored per interval, or `None` when no interval has
+    /// completed — the typed empty state.
+    pub fn try_mean_stored_bytes(&self) -> Option<f64> {
+        (!self.intervals.is_empty()).then(|| {
+            self.intervals.iter().map(|i| i.stored_bytes as f64).sum::<f64>()
+                / self.intervals.len() as f64
+        })
     }
 
     /// Mean bytes stored per interval — the average write bandwidth proxy.
+    /// **Documented zero** when no interval has completed; use
+    /// [`Self::try_mean_stored_bytes`] to distinguish "no intervals" from
+    /// "empty checkpoints".
     pub fn mean_stored_bytes(&self) -> f64 {
-        if self.intervals.is_empty() {
-            return 0.0;
-        }
-        self.intervals.iter().map(|i| i.stored_bytes as f64).sum::<f64>()
-            / self.intervals.len() as f64
+        self.try_mean_stored_bytes().unwrap_or(0.0)
+    }
+
+    /// Mean stored fraction per interval, or `None` when no interval has
+    /// completed — the typed empty state.
+    pub fn try_mean_stored_fraction(&self) -> Option<f64> {
+        (!self.intervals.is_empty()).then(|| {
+            self.intervals.iter().map(|i| i.stored_fraction).sum::<f64>()
+                / self.intervals.len() as f64
+        })
     }
 
     /// Mean stored fraction per interval (Figure 15's average height).
+    /// **Documented zero** when no interval has completed.
     pub fn mean_stored_fraction(&self) -> f64 {
-        if self.intervals.is_empty() {
-            return 0.0;
-        }
-        self.intervals.iter().map(|i| i.stored_fraction).sum::<f64>()
-            / self.intervals.len() as f64
+        self.try_mean_stored_fraction().unwrap_or(0.0)
     }
 
     /// Peak capacity fraction across intervals (Figure 16's max height, the
@@ -224,24 +288,40 @@ impl RunStats {
             .fold(0.0, f64::max)
     }
 
+    /// Average-bandwidth reduction factor vs a full-FP32-every-interval
+    /// baseline, or `None` when no interval has completed (the reduction
+    /// of an empty run is undefined, not infinite) — the typed empty
+    /// state.
+    pub fn try_bandwidth_reduction_vs_full(&self) -> Option<f64> {
+        let mean = self.try_mean_stored_bytes()?;
+        Some(if mean == 0.0 { f64::INFINITY } else { self.full_reference_bytes as f64 / mean })
+    }
+
     /// Average-bandwidth reduction factor vs a baseline that writes a full
     /// FP32 checkpoint every interval (Figure 17, left bars).
+    /// **Documented +∞** when the mean stored size is zero, including the
+    /// empty run; use [`Self::try_bandwidth_reduction_vs_full`] to
+    /// distinguish the two.
     pub fn bandwidth_reduction_vs_full(&self) -> f64 {
-        let mean = self.mean_stored_bytes();
-        if mean == 0.0 {
-            return f64::INFINITY;
+        self.try_bandwidth_reduction_vs_full().unwrap_or(f64::INFINITY)
+    }
+
+    /// Peak-capacity reduction factor vs a single-full-FP32 baseline, or
+    /// `None` when no interval has completed — the typed empty state.
+    pub fn try_capacity_reduction_vs_full(&self) -> Option<f64> {
+        if self.intervals.is_empty() {
+            return None;
         }
-        self.full_reference_bytes as f64 / mean
+        let peak = self.peak_capacity_fraction();
+        Some(if peak == 0.0 { f64::INFINITY } else { 1.0 / peak })
     }
 
     /// Peak-capacity reduction factor vs a baseline that keeps one full
-    /// FP32 checkpoint (Figure 17, right bars).
+    /// FP32 checkpoint (Figure 17, right bars). **Documented +∞** when the
+    /// peak capacity fraction is zero, including the empty run; use
+    /// [`Self::try_capacity_reduction_vs_full`] to distinguish the two.
     pub fn capacity_reduction_vs_full(&self) -> f64 {
-        let peak = self.peak_capacity_fraction();
-        if peak == 0.0 {
-            return f64::INFINITY;
-        }
-        1.0 / peak
+        self.try_capacity_reduction_vs_full().unwrap_or(f64::INFINITY)
     }
 }
 
@@ -294,6 +374,79 @@ mod tests {
         assert!(s.bandwidth_reduction_vs_full().is_infinite());
         assert_eq!(s.mean_time_to_resume(), Duration::ZERO);
         assert_eq!(s.total_resume_time(), Duration::ZERO);
+    }
+
+    #[test]
+    fn empty_series_report_typed_none_not_zero_division() {
+        let s = RunStats::new(1000);
+        assert_eq!(s.try_mean_time_to_resume(), None);
+        assert_eq!(s.try_mean_stored_bytes(), None);
+        assert_eq!(s.try_mean_stored_fraction(), None);
+        assert_eq!(s.try_bandwidth_reduction_vs_full(), None);
+        assert_eq!(s.try_capacity_reduction_vs_full(), None);
+        // The defaulting wrappers stay aligned with the typed variants.
+        assert_eq!(s.mean_time_to_resume(), Duration::ZERO);
+        assert_eq!(s.mean_stored_bytes(), 0.0);
+        assert_eq!(s.mean_stored_fraction(), 0.0);
+        assert!(s.capacity_reduction_vs_full().is_infinite());
+    }
+
+    #[test]
+    fn typed_and_defaulting_aggregates_agree_when_nonempty() {
+        let mut s = RunStats::new(1000);
+        s.push(interval(0, CheckpointKind::Full, 400, 400));
+        s.push(interval(1, CheckpointKind::Incremental, 200, 600));
+        assert_eq!(s.try_mean_stored_bytes(), Some(s.mean_stored_bytes()));
+        assert_eq!(s.try_mean_stored_fraction(), Some(s.mean_stored_fraction()));
+        assert_eq!(
+            s.try_bandwidth_reduction_vs_full(),
+            Some(s.bandwidth_reduction_vs_full())
+        );
+        assert_eq!(
+            s.try_capacity_reduction_vs_full(),
+            Some(s.capacity_reduction_vs_full())
+        );
+        // A zero-byte (but present) interval series is INFINITY, not None:
+        // the distinction the typed variants exist to draw.
+        let mut z = RunStats::new(1000);
+        z.push(interval(0, CheckpointKind::Full, 0, 0));
+        assert_eq!(z.try_bandwidth_reduction_vs_full(), Some(f64::INFINITY));
+    }
+
+    #[test]
+    fn from_breakdown_copies_every_phase_and_the_identity() {
+        let b = cnr_cluster::ResumeBreakdown {
+            drain_wait: Duration::from_secs(1),
+            fetch: Duration::from_secs(4),
+            decode: Duration::from_millis(300),
+            merge: Duration::from_millis(200),
+            reader_hosts: 2,
+            bytes_fetched: 1 << 20,
+            chunks_fetched: 8,
+            rescheduled_chunks: 0,
+            corruption_detected: 1,
+            corruption_repaired: 1,
+            corruption_refetches: 1,
+            cache_hit_rate: Some(0.5),
+            restore_point: cnr_cluster::RestorePoint::WalTip,
+            wal_replay: Duration::from_millis(500),
+            wal_replayed_iterations: 3,
+            lost_iterations: 1,
+            time_to_first_batch: Duration::from_secs(2),
+            mode: cnr_cluster::RestoreMode::Lazy,
+        };
+        let r = ResumeStats::from_breakdown(7, CheckpointId(3), &b);
+        assert_eq!(r.resume, 7);
+        assert_eq!(r.checkpoint, CheckpointId(3));
+        assert_eq!(r.time_to_resume, b.time_to_resume());
+        assert_eq!(
+            r.time_to_resume,
+            r.drain_wait + r.fetch + r.decode + r.merge + r.wal_replay,
+            "time_to_resume must be the sum of its documented phases"
+        );
+        assert_eq!(r.wal_replayed_iterations, 3);
+        assert_eq!(r.mode, cnr_cluster::RestoreMode::Lazy);
+        assert_eq!(r.fault_in_fetches, 0, "fault-ins accrue later");
     }
 
     #[test]

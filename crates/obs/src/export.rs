@@ -1,0 +1,243 @@
+//! Trace and metrics exporters.
+//!
+//! * [`chrome_trace_jsonl`] — one Chrome `trace_event` "complete" (`"X"`)
+//!   event per line, loadable by `chrome://tracing` / Perfetto after
+//!   wrapping the lines in a JSON array (or as-is by tools that accept
+//!   JSONL). Timestamps and durations are microseconds, per the trace
+//!   format.
+//! * [`prometheus_text`] — a Prometheus text-exposition snapshot of a
+//!   [`MetricsSnapshot`].
+//! * [`validate_trace_jsonl`] — the schema check CI runs on emitted
+//!   timelines: every line frame-parses (balanced JSON with the required
+//!   fields) and `ts` is monotone non-decreasing.
+
+use crate::json;
+use crate::metrics::{MetricValue, MetricsSnapshot};
+use crate::span::{Span, SpanKind};
+use std::fmt::Write as _;
+
+/// Renders spans as Chrome `trace_event` JSONL, one complete event per
+/// line, sorted by start stamp (ties broken by record order) so the stream
+/// is monotone in `ts`.
+///
+/// `pid` is always 0 (one engine), `tid` is the span's track (host lane),
+/// and parent edges plus attrs ride in `args`.
+pub fn chrome_trace_jsonl(spans: &[Span]) -> String {
+    let mut ordered: Vec<&Span> = spans.iter().collect();
+    ordered.sort_by_key(|s| (s.start, s.id));
+    let mut out = String::new();
+    for s in ordered {
+        let cat = match s.kind {
+            SpanKind::Sync => "sync",
+            SpanKind::Concurrent => "concurrent",
+        };
+        write!(
+            out,
+            "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":0,\"tid\":{}",
+            json::escape(s.name),
+            cat,
+            s.start.as_micros(),
+            s.duration().as_micros(),
+            s.track
+        )
+        .expect("write to String cannot fail");
+        out.push_str(",\"args\":{");
+        write!(out, "\"span_id\":\"{}\"", s.id.0).expect("write to String cannot fail");
+        if let Some(p) = s.parent {
+            write!(out, ",\"parent\":\"{}\"", p.0).expect("write to String cannot fail");
+        }
+        for (k, v) in &s.attrs {
+            write!(out, ",\"{}\":\"{}\"", json::escape(k), json::escape(v))
+                .expect("write to String cannot fail");
+        }
+        out.push_str("}}\n");
+    }
+    out
+}
+
+/// Validates a trace JSONL document: every non-empty line is balanced JSON
+/// carrying `name` (string), `ph`, numeric `ts`/`dur`/`pid`/`tid`, and the
+/// `ts` sequence is monotone non-decreasing. Returns the first violation.
+pub fn validate_trace_jsonl(doc: &str) -> Result<(), String> {
+    let mut last_ts: Option<u128> = None;
+    let mut lines = 0usize;
+    for (ln, line) in doc.lines().enumerate() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        lines += 1;
+        json::check_balanced(line).map_err(|e| format!("line {}: {e}", ln + 1))?;
+        if !line.trim_start().starts_with('{') || !line.trim_end().ends_with('}') {
+            return Err(format!("line {}: not a JSON object", ln + 1));
+        }
+        let name = json::find_raw_value(line, "name")
+            .ok_or_else(|| format!("line {}: missing \"name\"", ln + 1))?;
+        if !name.starts_with('"') {
+            return Err(format!("line {}: \"name\" is not a string", ln + 1));
+        }
+        json::find_raw_value(line, "ph").ok_or_else(|| format!("line {}: missing \"ph\"", ln + 1))?;
+        for key in ["ts", "dur", "pid", "tid"] {
+            let raw = json::find_raw_value(line, key)
+                .ok_or_else(|| format!("line {}: missing \"{key}\"", ln + 1))?;
+            if raw.parse::<u128>().is_err() {
+                return Err(format!("line {}: \"{key}\" is not a non-negative integer: {raw}", ln + 1));
+            }
+        }
+        let ts = json::find_raw_value(line, "ts")
+            .expect("checked above")
+            .parse::<u128>()
+            .expect("checked above");
+        if let Some(prev) = last_ts {
+            if ts < prev {
+                return Err(format!("line {}: ts {ts} goes backwards (previous {prev})", ln + 1));
+            }
+        }
+        last_ts = Some(ts);
+    }
+    if lines == 0 {
+        return Err("empty timeline".to_string());
+    }
+    Ok(())
+}
+
+fn sanitize(name: &str) -> String {
+    name.chars()
+        .map(|c| if c.is_ascii_alphanumeric() || c == '_' || c == ':' { c } else { '_' })
+        .collect()
+}
+
+/// Renders a metrics snapshot in the Prometheus text exposition format
+/// (`# TYPE` comments, `_bucket{le=...}`/`_sum`/`_count` series for
+/// histograms). Metric names are sanitized to `[a-zA-Z0-9_:]`.
+pub fn prometheus_text(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snapshot.metrics {
+        let name = sanitize(name);
+        match value {
+            MetricValue::Counter(c) => {
+                writeln!(out, "# TYPE {name} counter").expect("write to String cannot fail");
+                writeln!(out, "{name} {c}").expect("write to String cannot fail");
+            }
+            MetricValue::Gauge(g) => {
+                writeln!(out, "# TYPE {name} gauge").expect("write to String cannot fail");
+                writeln!(out, "{name} {g}").expect("write to String cannot fail");
+            }
+            MetricValue::Histogram(h) => {
+                writeln!(out, "# TYPE {name} histogram").expect("write to String cannot fail");
+                let mut cum = 0u64;
+                for (i, &bound) in h.bounds.iter().enumerate() {
+                    cum += h.buckets[i];
+                    writeln!(out, "{name}_bucket{{le=\"{bound}\"}} {cum}")
+                        .expect("write to String cannot fail");
+                }
+                cum += h.buckets.last().copied().unwrap_or(0);
+                writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {cum}")
+                    .expect("write to String cannot fail");
+                writeln!(out, "{name}_sum {}", h.sum).expect("write to String cannot fail");
+                writeln!(out, "{name}_count {}", h.count).expect("write to String cannot fail");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::{MetricsRegistry, COUNT_BOUNDS};
+    use crate::span::{Obs, SpanId};
+    use std::time::Duration;
+
+    fn sample_spans() -> Vec<Span> {
+        let obs = Obs::wall();
+        let root = obs.record(
+            Span::new("restore", Duration::ZERO, Duration::from_millis(10)).with_attr("mode", "lazy"),
+        );
+        obs.record(
+            Span::new("restore.fetch", Duration::ZERO, Duration::from_millis(6))
+                .with_parent(root)
+                .with_track(1),
+        );
+        obs.record(
+            Span::new("restore.decode", Duration::from_millis(6), Duration::from_millis(10))
+                .with_parent(root),
+        );
+        obs.spans()
+    }
+
+    #[test]
+    fn trace_jsonl_round_trips_through_the_validator() {
+        let doc = chrome_trace_jsonl(&sample_spans());
+        assert_eq!(doc.lines().count(), 3);
+        validate_trace_jsonl(&doc).unwrap();
+        let first = doc.lines().next().unwrap();
+        assert_eq!(json::find_raw_value(first, "name"), Some("\"restore\""));
+        assert_eq!(json::find_raw_value(first, "ts"), Some("0"));
+        assert_eq!(json::find_raw_value(first, "dur"), Some("10000"));
+    }
+
+    #[test]
+    fn trace_jsonl_is_sorted_by_start() {
+        let obs = Obs::wall();
+        obs.record(Span::new("late", Duration::from_secs(5), Duration::from_secs(6)));
+        obs.record(Span::new("early", Duration::ZERO, Duration::from_secs(1)));
+        let doc = chrome_trace_jsonl(&obs.spans());
+        let names: Vec<_> = doc
+            .lines()
+            .map(|l| json::find_raw_value(l, "name").unwrap().to_string())
+            .collect();
+        assert_eq!(names, vec!["\"early\"", "\"late\""]);
+        validate_trace_jsonl(&doc).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_backwards_ts_and_torn_lines() {
+        let good = "{\"name\":\"a\",\"ph\":\"X\",\"ts\":5,\"dur\":1,\"pid\":0,\"tid\":0}";
+        let earlier = "{\"name\":\"b\",\"ph\":\"X\",\"ts\":4,\"dur\":1,\"pid\":0,\"tid\":0}";
+        let err = validate_trace_jsonl(&format!("{good}\n{earlier}\n")).unwrap_err();
+        assert!(err.contains("backwards"), "{err}");
+        let torn = "{\"name\":\"a\",\"ph\":\"X\",\"ts\":5";
+        assert!(validate_trace_jsonl(torn).is_err());
+        assert!(validate_trace_jsonl("").is_err());
+        let missing = "{\"name\":\"a\",\"ph\":\"X\",\"ts\":5,\"dur\":1,\"pid\":0}";
+        assert!(validate_trace_jsonl(missing).unwrap_err().contains("tid"));
+    }
+
+    #[test]
+    fn parent_edges_and_attrs_land_in_args() {
+        let doc = chrome_trace_jsonl(&sample_spans());
+        let fetch = doc.lines().nth(1).unwrap();
+        let args = json::find_raw_value(fetch, "args").unwrap();
+        assert!(args.contains("\"parent\":\"1\""), "{args}");
+        assert_eq!(json::find_raw_value(fetch, "tid"), Some("1"));
+        let root = doc.lines().next().unwrap();
+        assert!(json::find_raw_value(root, "args").unwrap().contains("\"mode\":\"lazy\""));
+    }
+
+    #[test]
+    fn prometheus_text_covers_all_metric_kinds() {
+        let r = MetricsRegistry::new();
+        r.counter_add("cnr_wal_appends_total", 3);
+        r.gauge_set("cnr_capacity_fraction", 0.25);
+        r.observe("cnr_restore_fetch_retries", 2.0, COUNT_BOUNDS);
+        let text = prometheus_text(&r.snapshot());
+        assert!(text.contains("# TYPE cnr_wal_appends_total counter"));
+        assert!(text.contains("cnr_wal_appends_total 3"));
+        assert!(text.contains("cnr_capacity_fraction 0.25"));
+        assert!(text.contains("cnr_restore_fetch_retries_bucket{le=\"2\"} 1"));
+        assert!(text.contains("cnr_restore_fetch_retries_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("cnr_restore_fetch_retries_count 1"));
+    }
+
+    #[test]
+    fn zero_duration_spans_export_cleanly() {
+        let obs = Obs::wall();
+        let at = Duration::from_micros(42);
+        obs.record(Span::new("checkpoint.register", at, at).with_parent(SpanId(7)));
+        // Unknown parent is fine for export (validation of tree shape is
+        // span::validate_tree's job, not the exporter's).
+        let doc = chrome_trace_jsonl(&obs.spans());
+        validate_trace_jsonl(&doc).unwrap();
+        assert!(doc.contains("\"dur\":0"));
+    }
+}

@@ -1,0 +1,156 @@
+//! Hand-rolled JSON helpers.
+//!
+//! The workspace has no serde_json (vendored stubs only), so everything that
+//! emits JSON — `cnr_bench::trajectory`'s `BENCH_*.json`, this crate's trace
+//! and metrics exporters — writes it by hand. These helpers are the single
+//! shared implementation of escaping and number formatting; they were
+//! extracted from `cnr_bench::trajectory` and that module now delegates
+//! here.
+
+/// Escapes a string for embedding inside a JSON string literal (quotes not
+/// included): `"` and `\` are backslash-escaped and control characters
+/// become `\u00XX`.
+pub fn escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Formats an `f64` as a JSON number: finite values print plainly (with a
+/// trailing `.0` added to integral values so the token stays a float);
+/// non-finite values, which JSON cannot represent, print as `null`.
+pub fn number(v: f64) -> String {
+    if !v.is_finite() {
+        return "null".to_string();
+    }
+    let s = format!("{v}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+/// Minimal structural validation of one JSON text: balanced braces and
+/// brackets outside string literals, properly terminated strings, and
+/// non-empty input. This is not a full parser — it is the schema check used
+/// to gate emitted timelines without serde_json.
+pub fn check_balanced(s: &str) -> Result<(), String> {
+    let mut depth: Vec<char> = Vec::new();
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in s.char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            } else if (c as u32) < 0x20 {
+                return Err(format!("raw control character at byte {i}"));
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => depth.push(c),
+            '}' if depth.pop() != Some('{') => {
+                return Err(format!("unbalanced '}}' at byte {i}"));
+            }
+            ']' if depth.pop() != Some('[') => {
+                return Err(format!("unbalanced ']' at byte {i}"));
+            }
+            _ => {}
+        }
+    }
+    if in_string {
+        return Err("unterminated string".to_string());
+    }
+    if !depth.is_empty() {
+        return Err(format!("{} unclosed delimiter(s)", depth.len()));
+    }
+    if s.trim().is_empty() {
+        return Err("empty document".to_string());
+    }
+    Ok(())
+}
+
+/// Extracts the raw value token of a top-level `"key": value` pair from a
+/// single-line JSON object (stops at the next comma or closing brace outside
+/// strings). Returns `None` if the key is absent. Sufficient for the trace
+/// schema check; not a general JSON query.
+pub fn find_raw_value<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let needle = format!("\"{}\":", escape(key));
+    let at = line.find(&needle)? + needle.len();
+    let rest = line[at..].trim_start();
+    let mut end = rest.len();
+    let mut in_string = false;
+    let mut escaped = false;
+    let mut depth = 0usize;
+    for (i, c) in rest.char_indices() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            }
+            continue;
+        }
+        match c {
+            '"' => in_string = true,
+            '{' | '[' => depth += 1,
+            '}' | ']' if depth > 0 => depth -= 1,
+            ',' | '}' | ']' if depth == 0 => {
+                end = i;
+                break;
+            }
+            _ => {}
+        }
+    }
+    Some(rest[..end].trim_end())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escapes_quotes_backslashes_and_controls() {
+        assert_eq!(escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(escape("x\ny"), "x\\u000ay");
+        assert_eq!(escape("plain"), "plain");
+    }
+
+    #[test]
+    fn numbers_round_trip_as_floats() {
+        assert_eq!(number(3.0), "3.0");
+        assert_eq!(number(0.125), "0.125");
+        assert_eq!(number(f64::NAN), "null");
+        assert_eq!(number(f64::INFINITY), "null");
+    }
+
+    #[test]
+    fn balance_check_accepts_nested_and_rejects_torn() {
+        check_balanced(r#"{"a": [1, {"b": "}"}]}"#).unwrap();
+        assert!(check_balanced(r#"{"a": 1"#).is_err());
+        assert!(check_balanced(r#"{"a": "unterminated}"#).is_err());
+        assert!(check_balanced("").is_err());
+    }
+
+    #[test]
+    fn find_raw_value_reads_scalars_and_stops_at_commas() {
+        let line = r#"{"name":"restore.fetch","ts":1250,"dur":7,"args":{"host":"2"}}"#;
+        assert_eq!(find_raw_value(line, "ts"), Some("1250"));
+        assert_eq!(find_raw_value(line, "name"), Some(r#""restore.fetch""#));
+        assert_eq!(find_raw_value(line, "args"), Some(r#"{"host":"2"}"#));
+        assert_eq!(find_raw_value(line, "missing"), None);
+    }
+}

@@ -1,0 +1,42 @@
+//! Zero-dependency observability for the Check-N-Run workspace.
+//!
+//! Check-N-Run's evaluation is built on *decomposed* timing: snapshot stall
+//! vs. quantize CPU vs. upload drain on the write side (§4 of the paper),
+//! and the fetch/decode/merge downtime model on the read side (§2, §5).
+//! This crate is the substrate those decompositions are recorded on:
+//!
+//! * [`span`] — a [`Span`]/[`SpanGuard`] tracing API with explicit parent
+//!   edges. Spans stamp timestamps through the [`Clock`] trait, so the same
+//!   code paths produce coherent trees whether time is wall-clock
+//!   ([`WallClock`]) or the engine's simulated clock (`cnr_cluster::SimClock`
+//!   implements [`Clock`]).
+//! * [`metrics`] — a [`MetricsRegistry`] of counters, gauges, and
+//!   fixed-bucket histograms (p50/p95/p99). Run-level statistics in
+//!   `cnr_core` (`RunStats`, `WalRunStats`, …) are *derived from* this
+//!   registry rather than hand-accumulated at call sites.
+//! * [`export`] — a Chrome `trace_event`-compatible JSONL trace writer and a
+//!   Prometheus-style text exposition snapshot, plus a structural validator
+//!   for the JSONL timeline.
+//! * [`json`] — the hand-rolled JSON escaping/formatting helpers shared with
+//!   `cnr_bench::trajectory` (this workspace has no serde_json).
+//!
+//! The crate is `std`-only by design: it sits *below* `cnr_cluster` in the
+//! dependency DAG so every other crate can thread an [`Obs`] handle through
+//! without cycles, and so the vendored-stub policy never applies to it.
+//!
+//! # The `ObsSink` contract
+//!
+//! External consumers subscribe through [`ObsSink`]; see its rustdoc for the
+//! exact delivery guarantees (completion-ordered, at-most-once per span,
+//! called on the recording thread).
+
+pub mod clock;
+pub mod export;
+pub mod json;
+pub mod metrics;
+pub mod names;
+pub mod span;
+
+pub use clock::{Clock, ManualClock, WallClock};
+pub use metrics::{HistogramSnapshot, MetricValue, MetricsRegistry, MetricsSnapshot};
+pub use span::{Obs, ObsSink, Span, SpanGuard, SpanId, SpanKind};

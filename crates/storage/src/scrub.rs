@@ -91,6 +91,9 @@ pub struct Scrubber<'a> {
     /// Keys a lazy restore still has fetches in flight against — skipped
     /// (and counted), never verified or rewritten mid-fetch.
     in_flight: std::collections::HashSet<String>,
+    /// When attached, each sweep records a `scrub.sweep` span and mirrors
+    /// its findings into the `cnr_obs::names::SCRUB_*` counters.
+    obs: Option<cnr_obs::Obs>,
 }
 
 impl<'a> Scrubber<'a> {
@@ -103,7 +106,14 @@ impl<'a> Scrubber<'a> {
             read_attempts: 3,
             upgrade_legacy: true,
             in_flight: std::collections::HashSet::new(),
+            obs: None,
         }
+    }
+
+    /// Attaches an observability handle: sweeps record spans + counters.
+    pub fn with_obs(mut self, obs: cnr_obs::Obs) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// Marks keys a concurrent lazy restore still has fetches in flight
@@ -151,6 +161,9 @@ impl<'a> Scrubber<'a> {
             }
             report.scanned += 1;
             self.scrub_one(key, &mut report);
+        }
+        if let Some(obs) = &self.obs {
+            record_sweep(obs, &report);
         }
         report
     }
@@ -262,6 +275,33 @@ pub fn sweep_keys(
         scrubber = scrubber.with_replica(r);
     }
     scrubber.sweep(keys.iter().map(String::as_str))
+}
+
+/// Records one finished sweep into the registry and emits a `scrub.sweep`
+/// span. Sweeps are zero-length in simulated time — scrubbing is background
+/// work on spare cycles (like the decoupled upload path, §4.2) — so the span
+/// is an instant marker carrying the findings as attrs.
+fn record_sweep(obs: &cnr_obs::Obs, report: &ScrubReport) {
+    use cnr_obs::names as n;
+    let r = obs.registry();
+    r.counter_add(n::SCRUB_SWEEPS, 1);
+    r.counter_add(n::SCRUB_SCANNED, report.scanned);
+    r.counter_add(n::SCRUB_CLEAN, report.clean);
+    r.counter_add(n::SCRUB_LEGACY_FOUND, report.legacy_found);
+    r.counter_add(n::SCRUB_UPGRADED, report.upgraded);
+    r.counter_add(n::SCRUB_CORRUPT_DETECTED, report.corrupt_detected);
+    r.counter_add(n::SCRUB_REPAIRED, report.repaired);
+    r.counter_add(n::SCRUB_UNREPAIRABLE, report.unrepairable.len() as u64);
+    r.counter_add(n::SCRUB_SKIPPED_IN_FLIGHT, report.skipped_in_flight);
+    let now = obs.now();
+    obs.record(
+        cnr_obs::Span::new(n::SPAN_SCRUB_SWEEP, now, now)
+            .with_attr("scanned", report.scanned.to_string())
+            .with_attr("clean", report.clean.to_string())
+            .with_attr("corrupt_detected", report.corrupt_detected.to_string())
+            .with_attr("repaired", report.repaired.to_string())
+            .with_attr("skipped_in_flight", report.skipped_in_flight.to_string()),
+    );
 }
 
 #[cfg(test)]
@@ -494,5 +534,33 @@ mod tests {
         assert_eq!(report.legacy_found, 1);
         assert_eq!(report.upgraded, 0);
         assert_eq!(store.get("k").unwrap(), Bytes::from_static(b"legacy"));
+    }
+
+    #[test]
+    fn sweep_with_obs_mirrors_findings_into_registry_and_emits_span() {
+        use cnr_obs::names as n;
+        let store = InMemoryStore::new();
+        put_enveloped(&store, "a", b"ok");
+        put_enveloped(&store, "b", b"ok");
+        poison(&store, "b");
+        store.put("c", Bytes::from_static(b"legacy")).unwrap();
+
+        let obs = cnr_obs::Obs::wall();
+        let report = Scrubber::new(&store).with_obs(obs.clone()).sweep_prefix("").unwrap();
+        let r = obs.registry();
+        assert_eq!(r.counter(n::SCRUB_SWEEPS), 1);
+        assert_eq!(r.counter(n::SCRUB_SCANNED), report.scanned);
+        assert_eq!(r.counter(n::SCRUB_CLEAN), report.clean);
+        assert_eq!(r.counter(n::SCRUB_CORRUPT_DETECTED), report.corrupt_detected);
+        assert_eq!(r.counter(n::SCRUB_LEGACY_FOUND), report.legacy_found);
+        assert_eq!(r.counter(n::SCRUB_UNREPAIRABLE), report.unrepairable.len() as u64);
+
+        let spans = obs.spans();
+        assert_eq!(spans.len(), 1);
+        assert_eq!(spans[0].name, n::SPAN_SCRUB_SWEEP);
+        assert!(spans[0]
+            .attrs
+            .iter()
+            .any(|(k, v)| *k == "scanned" && *v == report.scanned.to_string()));
     }
 }

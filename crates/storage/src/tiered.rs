@@ -68,6 +68,9 @@ pub struct TieredStore<C, R> {
     /// Cache entries evicted because their envelope failed verification
     /// on a hit.
     verify_evictions: AtomicU64,
+    /// When attached, hit/miss increments are mirrored into the
+    /// `cnr_obs::names::CACHE_*` counters.
+    obs: Option<cnr_obs::Obs>,
 }
 
 impl<C: ObjectStore, R: ObjectStore> TieredStore<C, R> {
@@ -94,7 +97,15 @@ impl<C: ObjectStore, R: ObjectStore> TieredStore<C, R> {
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             verify_evictions: AtomicU64::new(0),
+            obs: None,
         }
+    }
+
+    /// Attaches an observability handle; hit/miss counters recorded from
+    /// now on.
+    pub fn with_obs(mut self, obs: cnr_obs::Obs) -> Self {
+        self.obs = Some(obs);
+        self
     }
 
     /// The cache tier.
@@ -154,6 +165,14 @@ impl<C: ObjectStore, R: ObjectStore> TieredStore<C, R> {
         }
     }
 
+    /// Records a miss (a read that fell through to the remote).
+    fn on_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.registry().counter_add(cnr_obs::names::CACHE_MISSES, 1);
+        }
+    }
+
     fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
@@ -165,6 +184,9 @@ impl<C: ObjectStore, R: ObjectStore> TieredStore<C, R> {
     /// LRU.
     fn on_hit(&self, key: &str) {
         self.hits.fetch_add(1, Ordering::Relaxed);
+        if let Some(obs) = &self.obs {
+            obs.registry().counter_add(cnr_obs::names::CACHE_HITS, 1);
+        }
         if self.policy == EvictionPolicy::Lru {
             let mut resident = self.resident.lock();
             if let Some(pos) = resident.iter().position(|k| k == key) {
@@ -238,7 +260,7 @@ impl<C: ObjectStore, R: ObjectStore> ObjectStore for TieredStore<C, R> {
         // The miss is counted before the remote read: a lookup that fell
         // through to the remote is a miss whether or not the remote then
         // fails, so failure injection cannot make the hit rate lie.
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.on_miss();
         let data = self.remote.get(key)?;
         self.cache_insert(key, data.clone());
         Ok(data)
@@ -254,7 +276,7 @@ impl<C: ObjectStore, R: ObjectStore> ObjectStore for TieredStore<C, R> {
             self.on_hit(key);
             return crate::checked_range(&data, key, offset, len);
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.on_miss();
         let data = self.remote.get_range(key, offset, len)?;
         self.maybe_cache_whole(key, offset, &data);
         Ok(data)
@@ -283,7 +305,7 @@ impl<C: ObjectStore, R: ObjectStore> ObjectStore for TieredStore<C, R> {
                 },
             ));
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.on_miss();
         let (data, receipt) = self.remote.get_part(key, offset, len, channel, not_before)?;
         self.maybe_cache_whole(key, offset, &data);
         Ok((data, receipt))
@@ -674,5 +696,21 @@ mod tests {
         assert_eq!(store.cache_misses(), 1);
         assert_eq!(store.get("obj").unwrap(), Bytes::from_static(b"abcd"));
         assert_eq!(store.cache_hits(), 1);
+    }
+
+    #[test]
+    fn obs_counters_track_hits_and_misses() {
+        use cnr_obs::names as n;
+        let obs = cnr_obs::Obs::wall();
+        let store = TieredStore::new(InMemoryStore::new(), InMemoryStore::new(), 1 << 20)
+            .with_obs(obs.clone());
+        store.put("k", Bytes::from_static(b"v")).unwrap();
+        store.get("k").unwrap();
+        store.get("k").unwrap();
+        store.get("missing").unwrap_err();
+        assert_eq!(obs.registry().counter(n::CACHE_MISSES), store.cache_misses());
+        assert_eq!(obs.registry().counter(n::CACHE_HITS), store.cache_hits());
+        assert_eq!(obs.registry().counter(n::CACHE_HITS), 2);
+        assert!(obs.registry().counter(n::CACHE_MISSES) >= 1);
     }
 }

@@ -132,6 +132,10 @@ pub struct WalWriter {
     /// Indices of segments with at least one synced byte, oldest first.
     live: Vec<u64>,
     stats: WalWriterStats,
+    /// When attached, every stat increment is mirrored into the shared
+    /// metrics registry (`cnr_obs::names::WAL_*`); the engine derives its
+    /// `WalRunStats` from those counters instead of copying `stats`.
+    obs: Option<cnr_obs::Obs>,
 }
 
 impl WalWriter {
@@ -147,7 +151,13 @@ impl WalWriter {
             next_seq: 0,
             live: Vec::new(),
             stats: WalWriterStats::default(),
+            obs: None,
         }
+    }
+
+    /// Attaches an observability handle; counters recorded from now on.
+    pub fn set_obs(&mut self, obs: cnr_obs::Obs) {
+        self.obs = Some(obs);
     }
 
     /// Appends one record. Returns the sync receipt when this append hit a
@@ -160,6 +170,11 @@ impl WalWriter {
         self.next_seq += 1;
         self.stats.appends += 1;
         self.stats.bytes_appended += frame.len() as u64;
+        if let Some(obs) = &self.obs {
+            let r = obs.registry();
+            r.counter_add(cnr_obs::names::WAL_APPENDS, 1);
+            r.counter_add(cnr_obs::names::WAL_BYTES_APPENDED, frame.len() as u64);
+        }
         self.buf.extend_from_slice(&frame);
         self.pending += 1;
         if self.pending >= self.config.sync_every {
@@ -184,10 +199,18 @@ impl WalWriter {
         self.pending = 0;
         self.stats.syncs += 1;
         self.stats.bytes_synced += self.buf.len() as u64;
+        if let Some(obs) = &self.obs {
+            let r = obs.registry();
+            r.counter_add(cnr_obs::names::WAL_SYNCS, 1);
+            r.counter_add(cnr_obs::names::WAL_BYTES_SYNCED, self.buf.len() as u64);
+        }
         if self.buf.len() as u64 >= self.config.segment_bytes {
             self.seg_index += 1;
             self.buf.clear();
             self.stats.segments_rotated += 1;
+            if let Some(obs) = &self.obs {
+                obs.registry().counter_add(cnr_obs::names::WAL_SEGMENTS_ROTATED, 1);
+            }
         }
         Ok(receipt)
     }
@@ -210,6 +233,14 @@ impl WalWriter {
         }
         self.pending = 0;
         self.stats.truncations += 1;
+        if let Some(obs) = &self.obs {
+            obs.registry().counter_add(cnr_obs::names::WAL_TRUNCATIONS, 1);
+            let now = obs.now();
+            obs.record(
+                cnr_obs::Span::new(cnr_obs::names::SPAN_WAL_TRUNCATE, now, now)
+                    .with_attr("segments_deleted", deleted.to_string()),
+            );
+        }
         Ok(deleted)
     }
 
@@ -626,5 +657,33 @@ mod tests {
         let r = replay(s.as_ref(), "job").unwrap();
         assert!(r.records.is_empty());
         assert_eq!(r.tail, WalTail::Clean);
+    }
+
+    #[test]
+    fn writer_with_obs_mirrors_every_stat_into_the_registry() {
+        use cnr_obs::names as n;
+        let obs = cnr_obs::Obs::wall();
+        let s = store();
+        let mut w = WalWriter::new(
+            s.clone(),
+            "job",
+            WalConfig { sync_every: 2, segment_bytes: 1 },
+        );
+        w.set_obs(obs.clone());
+        for i in 0..4u8 {
+            w.append(&[i; 8]).unwrap();
+        }
+        w.truncate().unwrap();
+
+        let stats = w.stats();
+        let r = obs.registry();
+        assert_eq!(r.counter(n::WAL_APPENDS), stats.appends);
+        assert_eq!(r.counter(n::WAL_SYNCS), stats.syncs);
+        assert_eq!(r.counter(n::WAL_BYTES_APPENDED), stats.bytes_appended);
+        assert_eq!(r.counter(n::WAL_BYTES_SYNCED), stats.bytes_synced);
+        assert_eq!(r.counter(n::WAL_SEGMENTS_ROTATED), stats.segments_rotated);
+        assert_eq!(r.counter(n::WAL_TRUNCATIONS), stats.truncations);
+        assert!(stats.appends == 4 && stats.syncs == 2 && stats.truncations == 1);
+        assert!(obs.spans().iter().any(|s| s.name == n::SPAN_WAL_TRUNCATE));
     }
 }

@@ -42,6 +42,7 @@
 pub use cnr_cluster as cluster;
 pub use cnr_core as core;
 pub use cnr_model as model;
+pub use cnr_obs as obs;
 pub use cnr_quant as quant;
 pub use cnr_reader as reader;
 pub use cnr_storage as storage;
